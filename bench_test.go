@@ -1,0 +1,399 @@
+// Package policyinject_test is the benchmark harness: one benchmark per
+// paper table/figure plus the ablations called out in DESIGN.md §6. Run
+//
+//	go test -bench=. -benchmem
+//
+// and compare against EXPERIMENTS.md. Where a benchmark corresponds to a
+// paper artefact, the mapping is noted in its comment.
+package policyinject_test
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"policyinject/internal/acl"
+	"policyinject/internal/attack"
+	"policyinject/internal/baseline"
+	"policyinject/internal/cache"
+	"policyinject/internal/classifier"
+	"policyinject/internal/conntrack"
+	"policyinject/internal/dataplane"
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+	"policyinject/internal/pkt"
+	"policyinject/internal/traffic"
+)
+
+// attackSwitch builds a switch carrying the attack's compiled ACL (scoped
+// to the attacker port) plus a victim whitelist, optionally pre-loaded
+// with the covert stream.
+func attackSwitch(b *testing.B, atk *attack.Attack, cfg dataplane.Config, executed bool) *dataplane.Switch {
+	b.Helper()
+	sw := dataplane.New(cfg)
+	// Victim whitelist on port 1. eth_type is pinned exactly as the CMS
+	// compiler does; it keeps the victim's megaflow mask distinct from
+	// every covert mask, so the victim entry sits at the end of the scan
+	// order — the paper's post-flush position.
+	var vm flow.Match
+	vm.Key.Set(flow.FieldInPort, 1)
+	vm.Mask.SetExact(flow.FieldInPort)
+	vm.Key.Set(flow.FieldEthType, flow.EthTypeIPv4)
+	vm.Mask.SetExact(flow.FieldEthType)
+	vm.Key.Set(flow.FieldIPSrc, 0x0a0a0000)
+	vm.Mask.SetPrefix(flow.FieldIPSrc, 24)
+	sw.InstallRule(flowtable.Rule{Match: vm, Priority: 100, Action: flowtable.Action{Verdict: flowtable.Allow}})
+	var dm flow.Match
+	dm.Key.Set(flow.FieldInPort, 1)
+	dm.Mask.SetExact(flow.FieldInPort)
+	sw.InstallRule(flowtable.Rule{Match: dm, Priority: 0})
+	// Attack ACL on port 66.
+	theACL, err := atk.BuildACL()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules, err := theACL.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rules {
+		r.Match.Key.Set(flow.FieldInPort, 66)
+		r.Match.Mask.SetExact(flow.FieldInPort)
+		sw.InstallRule(r)
+	}
+	if executed {
+		keys, err := atk.Keys()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range keys {
+			keys[i].Set(flow.FieldInPort, 66)
+			sw.ProcessKey(1, keys[i])
+		}
+	}
+	return sw
+}
+
+func victimGen() *traffic.Victim {
+	return traffic.NewVictim(traffic.VictimConfig{
+		Src:    netip.MustParseAddr("10.10.0.5"),
+		Dst:    netip.MustParseAddr("172.16.0.2"),
+		InPort: 1,
+	})
+}
+
+var noEMC = dataplane.Config{EMC: cache.EMCConfig{Entries: -1}}
+
+// BenchmarkFig2bSlowPath — E1 (paper Fig. 2b): slow-path classification +
+// megaflow synthesis for the single-field ACL, one probe per divergence
+// depth.
+func BenchmarkFig2bSlowPath(b *testing.B) {
+	var tbl flowtable.Table
+	cls := classifier.New(classifier.Config{})
+	var m flow.Match
+	m.Key.Set(flow.FieldIPSrc, 0x0a000000)
+	m.Mask.SetPrefix(flow.FieldIPSrc, 8)
+	for _, r := range []flowtable.Rule{
+		{Match: m, Priority: 10, Action: flowtable.Action{Verdict: flowtable.Allow}},
+		{Priority: 0},
+	} {
+		cls.Insert(tbl.Insert(r))
+	}
+	probes := make([]flow.Key, 9)
+	for i, p := range []uint64{0x0a, 0x80, 0x40, 0x20, 0x10, 0x00, 0x0c, 0x08, 0x0b} {
+		probes[i].Set(flow.FieldIPSrc, p<<24)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls.Lookup(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkMaskInjection — §2 mask-count table: full covert-stream
+// execution (upcalls + installs) for each attack configuration. The
+// "masks" metric must read 8 / 512 / 8192.
+func BenchmarkMaskInjection(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		atk  func() *attack.Attack
+	}{
+		{"single8", attack.SingleField},
+		{"two512", attack.TwoField},
+		{"three8192", attack.ThreeField},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			atk := c.atk()
+			sw := attackSwitch(b, atk, noEMC, false)
+			keys, _ := atk.Keys()
+			for j := range keys {
+				keys[j].Set(flow.FieldInPort, 66)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.ProcessKey(1, keys[i%len(keys)])
+			}
+			b.ReportMetric(float64(sw.Megaflow().NumMasks()), "masks")
+		})
+	}
+}
+
+// BenchmarkTSSLookupMasks — E3/E5 (the "10% of peak" and DoS claims):
+// victim megaflow-hit cost as a function of resident mask count. The
+// paper's degradation curve is ns/op growing linearly in masks.
+func BenchmarkTSSLookupMasks(b *testing.B) {
+	atk := attack.ThreeField()
+	keys, err := atk.Keys()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, masks := range []int{1, 8, 64, 512, 2048, 8192} {
+		b.Run(fmt.Sprintf("masks=%d", masks), func(b *testing.B) {
+			sw := attackSwitch(b, atk, noEMC, false)
+			for i := 0; i < masks-1 && i < len(keys); i++ {
+				k := keys[i]
+				k.Set(flow.FieldInPort, 66)
+				sw.ProcessKey(1, k)
+			}
+			gen := victimGen()
+			sw.ProcessKey(1, gen.Next()) // victim megaflow installs last
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.ProcessKey(2, gen.Next())
+			}
+			b.ReportMetric(float64(sw.Megaflow().NumMasks()), "masks")
+		})
+	}
+}
+
+// BenchmarkFig3VictimPath — Fig. 3's two operating points: the victim's
+// per-packet cost before the attack and with the 8192-mask attack
+// resident (kernel-datapath model). The ratio is the figure's collapse.
+func BenchmarkFig3VictimPath(b *testing.B) {
+	for _, attacked := range []bool{false, true} {
+		name := "before"
+		if attacked {
+			name = "under-attack"
+		}
+		b.Run(name, func(b *testing.B) {
+			sw := attackSwitch(b, attack.ThreeField(), noEMC, attacked)
+			gen := victimGen()
+			sw.ProcessKey(1, gen.Next())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.ProcessKey(2, gen.Next())
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineUnderAttack — E6: the cache-less ESWITCH-style switch
+// under the same covert stream; ns/op must not depend on the attack.
+func BenchmarkBaselineUnderAttack(b *testing.B) {
+	for _, attacked := range []bool{false, true} {
+		name := "before"
+		if attacked {
+			name = "under-attack"
+		}
+		b.Run(name, func(b *testing.B) {
+			atk := attack.TwoField()
+			sw := baseline.New(baseline.Config{})
+			theACL, _ := atk.BuildACL()
+			rules, _ := theACL.Compile()
+			for _, r := range rules {
+				sw.InstallRule(r)
+			}
+			if attacked {
+				keys, _ := atk.Keys()
+				for _, k := range keys {
+					sw.ProcessKey(1, k)
+				}
+			}
+			gen := victimGen()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.ProcessKey(2, gen.Next())
+			}
+		})
+	}
+}
+
+// BenchmarkEMCEffect — ablation: the exact-match cache's contribution on
+// friendly traffic (userspace vs kernel datapath), before and under
+// attack. The EMC hides established flows even under attack; the kernel
+// model does not — exactly why the paper's Kubernetes demo collapses.
+func BenchmarkEMCEffect(b *testing.B) {
+	configs := []struct {
+		name string
+		cfg  dataplane.Config
+	}{
+		{"emc", dataplane.Config{}},
+		{"no-emc", noEMC},
+	}
+	for _, c := range configs {
+		for _, attacked := range []bool{false, true} {
+			name := c.name + "/before"
+			if attacked {
+				name = c.name + "/under-attack"
+			}
+			b.Run(name, func(b *testing.B) {
+				sw := attackSwitch(b, attack.TwoField(), c.cfg, attacked)
+				gen := victimGen()
+				sw.ProcessKey(1, gen.Next())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sw.ProcessKey(2, gen.Next())
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSortedTSS — ablation: hit-count subtable ordering under attack,
+// for an established flow (rescued) — compare against
+// BenchmarkFig3VictimPath/under-attack to see the gap churn pays.
+func BenchmarkSortedTSS(b *testing.B) {
+	cfg := dataplane.Config{
+		EMC:      cache.EMCConfig{Entries: -1},
+		Megaflow: cache.MegaflowConfig{SortByHits: true, SortEvery: 256},
+	}
+	sw := attackSwitch(b, attack.TwoField(), cfg, true)
+	gen := victimGen()
+	for i := 0; i < 1024; i++ { // let the ordering settle
+		sw.ProcessKey(1, gen.Next())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.ProcessKey(2, gen.Next())
+	}
+}
+
+// BenchmarkUnwildcarding — ablation of the root cause: slow-path lookup
+// with and without trie-gated subtable skipping. Disabling prefix
+// tracking removes the attack surface (megaflows get full-width masks)
+// at the cost of probing every subtable.
+func BenchmarkUnwildcarding(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		fields []flow.FieldID
+	}{
+		{"tries-on", nil},
+		{"tries-off", []flow.FieldID{}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var tbl flowtable.Table
+			cls := classifier.New(classifier.Config{PrefixFields: c.fields})
+			atk := attack.TwoField()
+			theACL, _ := atk.BuildACL()
+			rules, _ := theACL.Compile()
+			for _, r := range rules {
+				cls.Insert(tbl.Insert(r))
+			}
+			keys, _ := atk.Keys()
+			b.ResetTimer()
+			masks := map[flow.Mask]bool{}
+			for i := 0; i < b.N; i++ {
+				res := cls.Lookup(keys[i%len(keys)])
+				masks[res.Megaflow.Mask] = true
+			}
+			b.ReportMetric(float64(len(masks)), "distinct-masks")
+		})
+	}
+}
+
+// BenchmarkExtract — the frame-parsing hot path (zero allocations).
+func BenchmarkExtract(b *testing.B) {
+	frame := pkt.MustBuild(pkt.Spec{
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+		Proto: pkt.ProtoTCP, SrcPort: 40000, DstPort: 443, FrameLen: 1514,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pkt.Extract(frame, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpcall — slow-path classification cost (classifier lookup +
+// megaflow synthesis) at ACL scale.
+func BenchmarkUpcall(b *testing.B) {
+	sw := attackSwitch(b, attack.TwoField(), noEMC, false)
+	cls := sw.Classifier()
+	gen := victimGen()
+	keys := gen.Flows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls.Lookup(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkRevalidator — maintenance cost of the idle sweep at full attack
+// population (8192 masks / entries), per paper Fig. 3's steady state.
+func BenchmarkRevalidator(b *testing.B) {
+	sw := attackSwitch(b, attack.ThreeField(), noEMC, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Sweep without evicting (deadline in the past keeps state).
+		sw.RunRevalidator(0)
+	}
+}
+
+// BenchmarkEndToEndFrame — whole-pipeline frame processing (parse +
+// caches) for an established flow, the number a datapath README quotes.
+func BenchmarkEndToEndFrame(b *testing.B) {
+	sw := attackSwitch(b, attack.TwoField(), dataplane.Config{}, false)
+	frame := pkt.MustBuild(pkt.Spec{
+		Src: netip.MustParseAddr("10.10.0.5"), Dst: netip.MustParseAddr("172.16.0.2"),
+		Proto: pkt.ProtoTCP, SrcPort: 49152, DstPort: 5201, FrameLen: 1514,
+	})
+	sw.AddPort(1, "victim")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Process(2, 1, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStatefulRecirc — extension ablation: per-packet cost of the
+// conntrack-recirculated pipeline for an established connection, against
+// the stateless single-pass equivalent. The delta is the price of
+// statefulness (two cache passes + the tracker lookup).
+func BenchmarkStatefulRecirc(b *testing.B) {
+	for _, stateful := range []bool{false, true} {
+		name := "stateless"
+		if stateful {
+			name = "stateful"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := dataplane.Config{EMC: cache.EMCConfig{Entries: -1}}
+			if stateful {
+				cfg.Conntrack = &conntrack.Config{}
+			}
+			sw := dataplane.New(cfg)
+			group := &acl.ACL{Stateful: stateful}
+			group.Allow(acl.Entry{Src: netip.MustParsePrefix("10.0.0.0/8")})
+			rules, err := group.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range rules {
+				sw.InstallRule(r)
+			}
+			fwd := flow.FiveTuple{
+				Src: netip.MustParseAddr("10.1.2.3"), Dst: netip.MustParseAddr("172.16.0.1"),
+				Proto: 6, SrcPort: 40000, DstPort: 443,
+			}.Key(1)
+			rev := flow.FiveTuple{
+				Src: netip.MustParseAddr("172.16.0.1"), Dst: netip.MustParseAddr("10.1.2.3"),
+				Proto: 6, SrcPort: 443, DstPort: 40000,
+			}.Key(2)
+			sw.ProcessKey(1, fwd)
+			sw.ProcessKey(2, rev) // establish when stateful
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.ProcessKey(3, fwd)
+			}
+		})
+	}
+}

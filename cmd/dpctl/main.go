@@ -1,0 +1,278 @@
+// Command dpctl inspects the model dataplane the way ovs-dpctl and
+// ovs-appctl inspect OVS. It builds the paper's two-tenant demo scenario,
+// optionally executes the attack, and dumps the requested view:
+//
+//	dpctl show                      switch and cache summary
+//	dpctl dump-rules                slow-path rules (ovs-ofctl style)
+//	dpctl dump-flows [-n 20]        megaflow cache entries
+//	dpctl dump-masks [-n 20]        mask population with entry counts
+//	dpctl replay -pcap file.pcap    feed a capture through the scenario switch
+//	dpctl self-check                validate table invariants
+//
+// Add -attack to run the covert stream before dumping (default on for
+// dump-flows/dump-masks; -attack=false for the healthy view).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"policyinject/internal/attack"
+	"policyinject/internal/cache"
+	"policyinject/internal/cms"
+	"policyinject/internal/dataplane"
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+	"policyinject/internal/pkt"
+	"policyinject/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	doAttack := fs.Bool("attack", cmd == "dump-flows" || cmd == "dump-masks", "run the covert stream first")
+	fields := fs.String("fields", "ip_src,tp_dst", "attack fields")
+	n := fs.Int("n", 20, "entries to display")
+	pcapPath := fs.String("pcap", "", "replay: capture file to feed")
+	fs.Parse(args)
+
+	sw, err := buildScenario(*fields, *doAttack)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "show":
+		fmt.Print(sw.String())
+	case "dump-rules":
+		for _, r := range sw.Rules() {
+			fmt.Printf("%s  # %s\n", r, r.Comment)
+		}
+	case "dump-flows":
+		dumpFlows(sw, *n)
+	case "dump-masks":
+		dumpMasks(sw, *n)
+	case "replay":
+		if err := replay(sw, *pcapPath); err != nil {
+			fatal(err)
+		}
+	case "self-check":
+		selfCheck(sw)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dpctl {show|dump-rules|dump-flows|dump-masks|self-check} [-attack] [-fields ...] [-n N]")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpctl:", err)
+	os.Exit(1)
+}
+
+// buildScenario assembles the paper's demo cluster: victim and attacker
+// pods sharing a hypervisor, victim policy installed, attacker policy
+// injected, and (optionally) the covert stream plus victim warm traffic.
+func buildScenario(fields string, execute bool) (*dataplane.Switch, error) {
+	cluster := cms.NewCluster()
+	cluster.SwitchConfig = dataplane.Config{EMC: cache.EMCConfig{Entries: -1}}
+	if _, err := cluster.AddNode("server-1"); err != nil {
+		return nil, err
+	}
+	victimPod, err := cluster.DeployPod("victim-corp", "backend", "server-1")
+	if err != nil {
+		return nil, err
+	}
+	attackerPod, err := cluster.DeployPod("mallory", "probe", "server-1")
+	if err != nil {
+		return nil, err
+	}
+
+	atk := &attack.Attack{DstIP: attackerPod.IP}
+	var err2 error
+	atk.Fields, err2 = parseFields(fields)
+	if err2 != nil {
+		return nil, err2
+	}
+	theACL, err := atk.BuildACL()
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.ApplyPolicy("mallory", "probe", &cms.Policy{
+		Name:                "innocuous-whitelist",
+		Ingress:             theACL.Entries,
+		AllowSrcPortFilters: true,
+	}); err != nil {
+		return nil, err
+	}
+
+	sw := victimPod.Node.Switch
+	if execute {
+		keys, err := atk.Keys()
+		if err != nil {
+			return nil, err
+		}
+		for i := range keys {
+			keys[i].Set(flow.FieldInPort, uint64(attackerPod.Port))
+			sw.ProcessKey(1, keys[i])
+		}
+		// A little victim traffic so its megaflow shows in the dumps.
+		victim := traffic.NewVictim(traffic.VictimConfig{
+			Src: victimPod.IP, Dst: victimPod.IP, InPort: victimPod.Port,
+		})
+		for i := 0; i < 64; i++ {
+			sw.ProcessKey(2, victim.Next())
+		}
+	}
+	return sw, nil
+}
+
+func parseFields(csv string) ([]attack.TargetField, error) {
+	var out []attack.TargetField
+	for _, name := range splitComma(csv) {
+		switch name {
+		case "ip_src":
+			out = append(out, attack.TargetField{Field: flow.FieldIPSrc, Allow: 0x0a000001})
+		case "ip_dst":
+			out = append(out, attack.TargetField{Field: flow.FieldIPDst, Allow: 0x0a000002})
+		case "tp_dst":
+			out = append(out, attack.TargetField{Field: flow.FieldTPDst, Allow: 80})
+		case "tp_src":
+			out = append(out, attack.TargetField{Field: flow.FieldTPSrc, Allow: 5201})
+		default:
+			return nil, fmt.Errorf("unknown field %q", name)
+		}
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		if r != ' ' {
+			cur += string(r)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func dumpFlows(sw *dataplane.Switch, n int) {
+	entries := sw.Megaflow().Entries()
+	fmt.Printf("# %d megaflow entries, %d masks (showing %d)\n",
+		len(entries), sw.Megaflow().NumMasks(), min(n, len(entries)))
+	for i, e := range entries {
+		if i >= n {
+			break
+		}
+		fmt.Printf("%s, actions:%s, hits:%d\n", e.Match, e.Verdict, e.Hits)
+	}
+}
+
+func dumpMasks(sw *dataplane.Switch, n int) {
+	entries := sw.Megaflow().Entries()
+	counts := map[flow.Mask]int{}
+	for _, e := range entries {
+		counts[e.Match.Mask]++
+	}
+	type row struct {
+		mask  flow.Mask
+		count int
+	}
+	rows := make([]row, 0, len(counts))
+	for m, c := range counts {
+		rows = append(rows, row{m, c})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].count > rows[j].count })
+	fmt.Printf("# %d distinct masks (showing %d)\n", len(rows), min(n, len(rows)))
+	for i, r := range rows {
+		if i >= n {
+			break
+		}
+		fmt.Printf("%4d entries  mask %s\n", r.count,
+			flow.Match{Mask: r.mask}.String())
+	}
+}
+
+// replay feeds a pcap capture through the scenario switch at port 1 and
+// reports the verdict mix and the cache impact.
+func replay(sw *dataplane.Switch, path string) error {
+	if path == "" {
+		return fmt.Errorf("replay needs -pcap <file>")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	frames, err := pkt.ReadPcap(f)
+	if err != nil {
+		return err
+	}
+	masksBefore := sw.Megaflow().NumMasks()
+	allowed, denied, errs := 0, 0, 0
+	for i, fr := range frames {
+		d, err := sw.Process(uint64(i), 1, fr)
+		switch {
+		case err != nil:
+			errs++
+		case d.Verdict.Verdict == flowtable.Allow:
+			allowed++
+		default:
+			denied++
+		}
+	}
+	fmt.Printf("replayed %d frames: %d allowed, %d denied, %d parse errors\n",
+		len(frames), allowed, denied, errs)
+	fmt.Printf("megaflow masks: %d -> %d\n", masksBefore, sw.Megaflow().NumMasks())
+	return nil
+}
+
+func selfCheck(sw *dataplane.Switch) {
+	ok := true
+	// Rule table invariants.
+	rules := sw.Rules()
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Priority > rules[i-1].Priority {
+			fmt.Printf("FAIL: rule order violated at %d\n", i)
+			ok = false
+		}
+	}
+	// Megaflow non-overlap within the cache (pairwise on a sample).
+	entries := sw.Megaflow().Entries()
+	limit := min(len(entries), 200)
+	for i := 0; i < limit; i++ {
+		for j := i + 1; j < limit; j++ {
+			if entries[i].Match.Overlaps(entries[j].Match) &&
+				entries[i].Verdict != entries[j].Verdict {
+				fmt.Printf("FAIL: conflicting overlapping megaflows %v / %v\n",
+					entries[i].Match, entries[j].Match)
+				ok = false
+			}
+		}
+	}
+	if ok {
+		fmt.Println("ok: rule order and megaflow consistency hold")
+	} else {
+		os.Exit(1)
+	}
+}

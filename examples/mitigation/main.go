@@ -1,0 +1,40 @@
+// mitigation: compares dataplane variants under the same policy-injection
+// attack — the trade-off discussion of the paper's demo, quantified:
+// vanilla OVS model, kernel-datapath model (no EMC), sorted TSS, mask
+// quotas (reject and LRU flavours), and the cache-less ESWITCH-style
+// baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"policyinject/internal/attack"
+	"policyinject/internal/mitigation"
+)
+
+func main() {
+	fmt.Println("attack: ip_src + tp_dst whitelist, 512-mask covert stream")
+	fmt.Println("victim: 90% established flows + 10% connection churn")
+	fmt.Println()
+	outcomes, err := mitigation.Evaluate(attack.TwoField(), []mitigation.Variant{
+		mitigation.Vanilla(),
+		mitigation.NoEMC(),
+		mitigation.SortedTSS(),
+		mitigation.MaskCap(64),
+		mitigation.MaskCapLRUSorted(64),
+		mitigation.CacheLess(),
+	}, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(mitigation.Table(outcomes).String())
+	fmt.Println(`
+reading the table:
+  vanilla      EMC absorbs the established flows; churn still pays the scan
+  no-emc       the kernel-datapath model: every packet scans the masks
+  sorted-tss   post-paper OVS ranking: rescues warm flows; cold misses still pay
+  mask-cap     bounds masks but displaces victims' megaflows into upcalls
+  cap-lru-sort keeps hot victim masks resident AND early: strong recovery
+  cache-less   immune by construction (paper ref [4]), no cache wins either`)
+}

@@ -1,0 +1,136 @@
+package acl
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the CLI/text form of an ACL: one entry per line,
+//
+//	allow src=10.0.0.0/8 dport=80
+//	allow sport=1000-2000 proto=tcp
+//	deny src=10.66.0.0/16
+//	deny *
+//
+// Lines starting with '#' and blank lines are ignored. A trailing "deny *"
+// is accepted and ignored (the default deny is implicit). Keys: src, dst,
+// proto (number or tcp/udp/icmp), sport, dport (port or from-to range).
+func Parse(text string) (*ACL, error) {
+	a := &ACL{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fieldsStr := strings.Fields(line)
+		verb := fieldsStr[0]
+		var e Entry
+		switch verb {
+		case "allow":
+		case "deny":
+			// A bare "deny" or "deny *" is the implicit default deny, not
+			// an entry of its own.
+			if len(fieldsStr) == 1 || len(fieldsStr) == 2 && fieldsStr[1] == "*" {
+				continue
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown verb %q", lineNo+1, verb)
+		}
+		for _, tok := range fieldsStr[1:] {
+			if tok == "*" {
+				continue
+			}
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok {
+				return nil, fmt.Errorf("line %d: bad token %q", lineNo+1, tok)
+			}
+			if err := applyToken(&e, k, v); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+		}
+		if verb == "allow" {
+			a.Allow(e)
+		} else {
+			a.Deny(e)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func applyToken(e *Entry, k, v string) error {
+	switch k {
+	case "src", "dst":
+		p, err := parseCIDR(v)
+		if err != nil {
+			return fmt.Errorf("%s: %v", k, err)
+		}
+		if k == "src" {
+			e.Src = p
+		} else {
+			e.Dst = p
+		}
+	case "proto":
+		switch strings.ToLower(v) {
+		case "tcp":
+			e.Proto = 6
+		case "udp":
+			e.Proto = 17
+		case "icmp":
+			e.Proto = 1
+		default:
+			n, err := strconv.ParseUint(v, 10, 8)
+			if err != nil {
+				return fmt.Errorf("proto: %v", err)
+			}
+			e.Proto = uint8(n)
+		}
+	case "sport", "dport":
+		pm, err := parsePorts(v)
+		if err != nil {
+			return fmt.Errorf("%s: %v", k, err)
+		}
+		if k == "sport" {
+			e.SrcPort = pm
+		} else {
+			e.DstPort = pm
+		}
+	default:
+		return fmt.Errorf("unknown key %q", k)
+	}
+	return nil
+}
+
+func parseCIDR(v string) (netip.Prefix, error) {
+	if !strings.Contains(v, "/") {
+		addr, err := netip.ParseAddr(v)
+		if err != nil {
+			return netip.Prefix{}, err
+		}
+		return netip.PrefixFrom(addr, addr.BitLen()), nil
+	}
+	return netip.ParsePrefix(v)
+}
+
+func parsePorts(v string) (PortMatch, error) {
+	if from, to, ok := strings.Cut(v, "-"); ok {
+		f, err := strconv.ParseUint(from, 10, 16)
+		if err != nil {
+			return PortMatch{}, err
+		}
+		t, err := strconv.ParseUint(to, 10, 16)
+		if err != nil {
+			return PortMatch{}, err
+		}
+		return PortRange(uint16(f), uint16(t)), nil
+	}
+	p, err := strconv.ParseUint(v, 10, 16)
+	if err != nil {
+		return PortMatch{}, err
+	}
+	return Port(uint16(p)), nil
+}

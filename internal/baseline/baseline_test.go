@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"policyinject/internal/acl"
+	"policyinject/internal/attack"
+	"policyinject/internal/dataplane"
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+	"policyinject/internal/pkt"
+)
+
+func installACL(t testing.TB, sw *Switch, a *acl.ACL) {
+	t.Helper()
+	rules, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		sw.InstallRule(r)
+	}
+}
+
+func paperACL() *acl.ACL {
+	return (&acl.ACL{}).Allow(acl.Entry{Src: netip.MustParsePrefix("10.0.0.0/8")})
+}
+
+func keyIPSrc(ip uint64) flow.Key {
+	var k flow.Key
+	k.Set(flow.FieldEthType, flow.EthTypeIPv4)
+	k.Set(flow.FieldIPSrc, ip)
+	return k
+}
+
+func TestVerdictsMatchACL(t *testing.T) {
+	for _, mode := range []Mode{Direct, Linear} {
+		sw := New(Config{Mode: mode})
+		installACL(t, sw, paperACL())
+		if d := sw.ProcessKey(0, keyIPSrc(0x0a010203)); d.Verdict.Verdict != flowtable.Allow {
+			t.Errorf("mode %d: 10.1.2.3 denied", mode)
+		}
+		if d := sw.ProcessKey(0, keyIPSrc(0xc0000001)); d.Verdict.Verdict != flowtable.Deny {
+			t.Errorf("mode %d: 192.0.0.1 allowed", mode)
+		}
+	}
+}
+
+func TestEmptyTableDefaultDeny(t *testing.T) {
+	sw := New(Config{})
+	if d := sw.ProcessKey(0, keyIPSrc(1)); d.Verdict.Verdict != flowtable.Deny {
+		t.Fatal("empty baseline must deny")
+	}
+}
+
+// TestImmuneToPolicyInjection is the mitigation claim: the covert stream
+// does not change the baseline's per-packet cost, because there is no
+// cache to poison. Cost (masks scanned) stays at the compiled constant.
+func TestImmuneToPolicyInjection(t *testing.T) {
+	atk := attack.TwoField()
+	sw := New(Config{Name: "eswitch"})
+	theACL, err := atk.BuildACL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	installACL(t, sw, theACL)
+	compiled := sw.NumSubtables()
+
+	keys, _ := atk.Keys()
+	before := sw.ProcessKey(0, keyIPSrc(0x0a000001)).MasksScanned
+	for _, k := range keys { // the whole covert stream
+		sw.ProcessKey(0, k)
+	}
+	after := sw.ProcessKey(0, keyIPSrc(0x0a000001)).MasksScanned
+	if before != after {
+		t.Fatalf("covert stream changed lookup cost: %d -> %d", before, after)
+	}
+	if after > compiled {
+		t.Fatalf("scanned %d > compiled %d subtables", after, compiled)
+	}
+	if sw.NumSubtables() != compiled {
+		t.Fatalf("covert stream changed the compiled matcher: %d -> %d", compiled, sw.NumSubtables())
+	}
+}
+
+// TestDifferentialAgainstCachedDataplane: the baseline and the cached
+// dataplane must agree on every verdict, for random policies and probes.
+func TestDifferentialAgainstCachedDataplane(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		a := &acl.ACL{}
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			e := acl.Entry{}
+			if rng.Intn(2) == 0 {
+				bits := rng.Intn(33)
+				addr := netip.AddrFrom4([4]byte{10, byte(rng.Intn(4)), byte(rng.Intn(4)), byte(rng.Intn(4))})
+				e.Src = netip.PrefixFrom(addr, bits)
+			}
+			if rng.Intn(2) == 0 {
+				e.Proto = 6
+				e.DstPort = acl.Port(uint16(rng.Intn(3) * 443))
+			}
+			a.Allow(e)
+		}
+		direct := New(Config{Mode: Direct})
+		linear := New(Config{Mode: Linear})
+		cached := dataplane.New(dataplane.Config{})
+		rules, err := a.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rules {
+			direct.InstallRule(r)
+			linear.InstallRule(r)
+			cached.InstallRule(r)
+		}
+		for probe := 0; probe < 300; probe++ {
+			k := flow.FiveTuple{
+				Src:     netip.AddrFrom4([4]byte{10, byte(rng.Intn(4)), byte(rng.Intn(4)), byte(rng.Intn(4))}),
+				Dst:     netip.MustParseAddr("172.16.0.1"),
+				Proto:   6,
+				SrcPort: uint16(rng.Intn(65536)),
+				DstPort: uint16(rng.Intn(3) * 443),
+			}.Key(0)
+			vd := direct.ProcessKey(0, k).Verdict
+			vl := linear.ProcessKey(0, k).Verdict
+			vc := cached.ProcessKey(uint64(probe), k).Verdict
+			if vd != vl || vd != vc {
+				t.Fatalf("trial %d probe %d: direct=%v linear=%v cached=%v\n%s",
+					trial, probe, vd, vl, vc, direct)
+			}
+		}
+	}
+}
+
+func TestRemoveRule(t *testing.T) {
+	sw := New(Config{})
+	rules, _ := paperACL().Compile()
+	var allowRule *flowtable.Rule
+	for _, r := range rules {
+		stored := sw.InstallRule(r)
+		if r.Action.Verdict == flowtable.Allow {
+			allowRule = stored
+		}
+	}
+	if !sw.RemoveRule(allowRule) {
+		t.Fatal("RemoveRule failed")
+	}
+	if sw.RemoveRule(allowRule) {
+		t.Fatal("double remove succeeded")
+	}
+	if d := sw.ProcessKey(0, keyIPSrc(0x0a010203)); d.Verdict.Verdict != flowtable.Deny {
+		t.Fatal("allow survived removal")
+	}
+	if sw.NumSubtables() != 1 {
+		t.Fatalf("subtables = %d", sw.NumSubtables())
+	}
+}
+
+func TestProcessFrame(t *testing.T) {
+	sw := New(Config{})
+	installACL(t, sw, paperACL())
+	f := pkt.MustBuild(pkt.Spec{
+		Src: netip.MustParseAddr("10.1.1.1"), Dst: netip.MustParseAddr("10.2.2.2"),
+		Proto: pkt.ProtoUDP, SrcPort: 1, DstPort: 2,
+	})
+	d, err := sw.Process(0, 1, f)
+	if err != nil || d.Verdict.Verdict != flowtable.Allow {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+	if _, err := sw.Process(0, 1, []byte{0}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if sw.Counters().ParseError != 1 {
+		t.Errorf("counters: %+v", sw.Counters())
+	}
+}
+
+func TestFirstAddedWins(t *testing.T) {
+	sw := New(Config{})
+	a := (&acl.ACL{}).
+		Deny(acl.Entry{Src: netip.MustParsePrefix("10.66.0.0/16")}).
+		Allow(acl.Entry{Src: netip.MustParsePrefix("10.0.0.0/8")})
+	installACL(t, sw, a)
+	// 10.66.x is inside both; the deny came first.
+	if d := sw.ProcessKey(0, keyIPSrc(0x0a420001)); d.Verdict.Verdict != flowtable.Deny {
+		t.Fatal("first-added deny did not win")
+	}
+	if d := sw.ProcessKey(0, keyIPSrc(0x0a010001)); d.Verdict.Verdict != flowtable.Allow {
+		t.Fatal("allow outside the exception denied")
+	}
+}

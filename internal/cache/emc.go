@@ -1,0 +1,167 @@
+// Package cache implements the two-level fast path of the hypervisor
+// switch, modelled on the Open vSwitch datapath:
+//
+//   - the exact-match (microflow) cache, EMC: a bounded store keyed by the
+//     full flow key, consulted first; each entry references the megaflow
+//     entry that produced it, so EMC hits keep the megaflow warm, exactly
+//     as in OVS;
+//   - the megaflow cache: a tuple-space search (TSS) classifier holding
+//     the wildcard entries the slow path synthesises — one hash table per
+//     distinct mask, scanned sequentially until the first hit.
+//
+// The megaflow cache's sequential mask scan is the algorithmic deficiency
+// the paper exploits: lookup cost is linear in the number of distinct
+// masks, and a tenant can mint masks at will via policy injection.
+package cache
+
+import "policyinject/internal/flow"
+
+// EMCConfig tunes the exact-match cache.
+type EMCConfig struct {
+	// Entries caps the number of cached microflows. 0 means the OVS
+	// default of 8192. Negative disables the EMC.
+	Entries int
+	// InsertEvery inserts only every Nth missed flow (OVS's
+	// emc-insert-inv-prob). 0 or 1 inserts always.
+	InsertEvery int
+}
+
+// DefaultEMCEntries matches the OVS default EMC size.
+const DefaultEMCEntries = 8192
+
+type emcEntry struct {
+	flow *Entry // referenced megaflow entry
+	slot int    // index in keys, for O(1) random-replacement eviction
+}
+
+// EMC is the exact-match (microflow) cache. Not safe for concurrent use;
+// the dataplane owns it.
+type EMC struct {
+	cfg     EMCConfig
+	max     int
+	entries map[flow.Key]*emcEntry
+	keys    []flow.Key // dense set for eviction victim selection
+	missSeq int        // insertion probability counter
+	evictRR uint64     // cheap deterministic "random" victim cursor
+
+	// Stats
+	Hits, Misses, Inserts, Evictions, Stale uint64
+}
+
+// NewEMC builds an EMC per cfg.
+func NewEMC(cfg EMCConfig) *EMC {
+	max := cfg.Entries
+	if max == 0 {
+		max = DefaultEMCEntries
+	}
+	if max < 0 {
+		max = 0
+	}
+	return &EMC{
+		cfg:     cfg,
+		max:     max,
+		entries: make(map[flow.Key]*emcEntry, max),
+	}
+}
+
+// Cap returns the configured capacity (0 when disabled).
+func (e *EMC) Cap() int { return e.max }
+
+// Len returns the number of cached microflows.
+func (e *EMC) Len() int { return len(e.entries) }
+
+// Lookup consults the cache at logical time now. A hit returns the
+// referenced megaflow entry and credits it (hit count and last-used time),
+// which is what keeps attacker megaflows resident under EMC traffic. An
+// entry whose megaflow has died (evicted or revalidated away) is purged
+// lazily and reported as a miss — OVS's staleness check by sequence
+// number.
+func (e *EMC) Lookup(k flow.Key, now uint64) (*Entry, bool) {
+	if e.max == 0 {
+		return nil, false
+	}
+	ent, ok := e.entries[k]
+	if !ok {
+		e.Misses++
+		return nil, false
+	}
+	if ent.flow.Dead() {
+		e.Remove(k)
+		e.Stale++
+		e.Misses++
+		return nil, false
+	}
+	ent.flow.Hits++
+	ent.flow.LastHit = now
+	e.Hits++
+	return ent.flow, true
+}
+
+// Insert caches a reference to megaflow entry f for exact key k, applying
+// the configured insertion probability and evicting a pseudo-random victim
+// when full.
+func (e *EMC) Insert(k flow.Key, f *Entry) {
+	if e.max == 0 || f == nil {
+		return
+	}
+	if e.cfg.InsertEvery > 1 {
+		e.missSeq++
+		if e.missSeq%e.cfg.InsertEvery != 0 {
+			return
+		}
+	}
+	if ent, ok := e.entries[k]; ok {
+		ent.flow = f
+		return
+	}
+	if len(e.entries) >= e.max {
+		e.evictOne(k)
+	}
+	ent := &emcEntry{flow: f, slot: len(e.keys)}
+	e.keys = append(e.keys, k)
+	e.entries[k] = ent
+	e.Inserts++
+}
+
+// evictOne removes a pseudo-random entry. OVS's EMC is a 2-way
+// hash-indexed structure where a colliding insert displaces one of two
+// victims; hashing the incoming key into the dense slot array reproduces
+// that "victim determined by the new key" behaviour deterministically.
+func (e *EMC) evictOne(incoming flow.Key) {
+	if len(e.keys) == 0 {
+		return
+	}
+	e.evictRR = e.evictRR*6364136223846793005 + incoming.Hash()
+	victimSlot := int(e.evictRR % uint64(len(e.keys)))
+	victimKey := e.keys[victimSlot]
+	last := len(e.keys) - 1
+	e.keys[victimSlot] = e.keys[last]
+	if moved, ok := e.entries[e.keys[victimSlot]]; ok && victimSlot != last {
+		moved.slot = victimSlot
+	}
+	e.keys = e.keys[:last]
+	delete(e.entries, victimKey)
+	e.Evictions++
+}
+
+// Remove drops the entry for k if present.
+func (e *EMC) Remove(k flow.Key) bool {
+	ent, ok := e.entries[k]
+	if !ok {
+		return false
+	}
+	last := len(e.keys) - 1
+	e.keys[ent.slot] = e.keys[last]
+	if moved, ok2 := e.entries[e.keys[ent.slot]]; ok2 && ent.slot != last {
+		moved.slot = ent.slot
+	}
+	e.keys = e.keys[:last]
+	delete(e.entries, k)
+	return true
+}
+
+// Flush empties the cache (used after policy changes).
+func (e *EMC) Flush() {
+	e.entries = make(map[flow.Key]*emcEntry, e.max)
+	e.keys = e.keys[:0]
+}

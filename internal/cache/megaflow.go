@@ -1,0 +1,325 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+)
+
+// Verdict is the cached outcome of a megaflow or microflow: the policy
+// action the slow path decided.
+type Verdict = flowtable.Action
+
+// DefaultFlowLimit matches the OVS datapath default flow limit.
+const DefaultFlowLimit = 200000
+
+// ErrFlowLimit is returned by Insert when the entry limit is reached.
+var ErrFlowLimit = errors.New("cache: megaflow flow limit reached")
+
+// ErrMaskLimit is returned by Insert when a new mask would exceed the
+// configured mask cap (a mitigation, not stock OVS behaviour).
+var ErrMaskLimit = errors.New("cache: megaflow mask limit reached")
+
+// MegaflowConfig tunes the megaflow cache.
+type MegaflowConfig struct {
+	// FlowLimit caps the number of cached entries; 0 means
+	// DefaultFlowLimit, negative means unlimited.
+	FlowLimit int
+	// MaxMasks, when positive, caps the number of distinct masks — the
+	// "mask quota" mitigation evaluated in the mitigation benches. Stock
+	// OVS has no such cap. By default inserts needing a new mask beyond
+	// the cap are rejected with ErrMaskLimit; with MaskEvictLRU the
+	// least-recently-hit subtable is evicted instead.
+	MaxMasks int
+	// MaskEvictLRU selects evict-coldest-subtable behaviour at the mask
+	// cap instead of rejecting new masks.
+	MaskEvictLRU bool
+	// SortByHits, when true, periodically reorders the subtable scan by
+	// descending hit count ("sorted TSS"), OVS's pragmatic optimisation.
+	// It helps skewed benign traffic and does nothing against the attack,
+	// which is exactly the point the mitigation benches make.
+	SortByHits bool
+	// SortEvery is the number of lookups between reorderings when
+	// SortByHits is set; 0 means 4096.
+	SortEvery int
+}
+
+// Entry is one cached megaflow.
+type Entry struct {
+	Match   flow.Match
+	Verdict Verdict
+	Hits    uint64
+	Added   uint64 // logical insert time
+	LastHit uint64 // logical last-hit time
+
+	dead bool // set on eviction so EMC references invalidate lazily
+}
+
+// Dead reports whether the entry has been evicted from the megaflow cache
+// (EMC references to it are stale).
+func (e *Entry) Dead() bool { return e.dead }
+
+type mfSubtable struct {
+	mask    flow.Mask
+	entries map[flow.Key]*Entry
+	hits    uint64 // for sorted TSS
+	lastHit uint64 // for LRU mask eviction
+}
+
+// Megaflow is the TSS-based megaflow cache. Not safe for concurrent use.
+type Megaflow struct {
+	cfg       MegaflowConfig
+	limit     int
+	subtables []*mfSubtable // scan order
+	byMask    map[flow.Mask]*mfSubtable
+	nEntries  int
+
+	sinceSort int
+
+	// Stats
+	Lookups, Hits, Misses uint64
+	// MasksScanned accumulates the subtables visited across lookups; the
+	// average per lookup is the paper's cost metric.
+	MasksScanned uint64
+}
+
+// NewMegaflow builds a megaflow cache per cfg.
+func NewMegaflow(cfg MegaflowConfig) *Megaflow {
+	limit := cfg.FlowLimit
+	if limit == 0 {
+		limit = DefaultFlowLimit
+	}
+	if cfg.SortEvery == 0 {
+		cfg.SortEvery = 4096
+	}
+	return &Megaflow{
+		cfg:    cfg,
+		limit:  limit,
+		byMask: make(map[flow.Mask]*mfSubtable),
+	}
+}
+
+// Len returns the number of cached entries.
+func (m *Megaflow) Len() int { return m.nEntries }
+
+// NumMasks returns the number of distinct masks (subtables) — the paper's
+// headline quantity.
+func (m *Megaflow) NumMasks() int { return len(m.subtables) }
+
+// Lookup scans the subtables in order, one hash probe per mask, returning
+// the first hit. The returned scan count is the number of subtables
+// visited, the direct cost measure of TSS.
+func (m *Megaflow) Lookup(k flow.Key, now uint64) (*Entry, int, bool) {
+	m.Lookups++
+	scanned := 0
+	for _, st := range m.subtables {
+		scanned++
+		if ent, ok := st.entries[st.mask.Apply(k)]; ok {
+			ent.Hits++
+			ent.LastHit = now
+			st.hits++
+			st.lastHit = now
+			m.Hits++
+			m.MasksScanned += uint64(scanned)
+			m.maybeResort()
+			return ent, scanned, true
+		}
+	}
+	m.Misses++
+	m.MasksScanned += uint64(scanned)
+	m.maybeResort()
+	return nil, scanned, false
+}
+
+func (m *Megaflow) maybeResort() {
+	if !m.cfg.SortByHits {
+		return
+	}
+	m.sinceSort++
+	if m.sinceSort < m.cfg.SortEvery {
+		return
+	}
+	m.sinceSort = 0
+	sort.SliceStable(m.subtables, func(i, j int) bool {
+		return m.subtables[i].hits > m.subtables[j].hits
+	})
+	for _, st := range m.subtables {
+		st.hits = 0 // decay so ordering tracks current traffic
+	}
+}
+
+// Insert installs a megaflow produced by the slow path. The match is
+// normalised. Inserting an entry whose masked key already exists replaces
+// the stale entry (revalidation after a policy change does this).
+func (m *Megaflow) Insert(match flow.Match, v Verdict, now uint64) (*Entry, error) {
+	match.Normalize()
+	st := m.byMask[match.Mask]
+	if st == nil {
+		if m.cfg.MaxMasks > 0 && len(m.subtables) >= m.cfg.MaxMasks {
+			if !m.cfg.MaskEvictLRU {
+				return nil, ErrMaskLimit
+			}
+			m.evictColdestSubtable()
+		}
+		st = &mfSubtable{mask: match.Mask, entries: make(map[flow.Key]*Entry), lastHit: now}
+		m.byMask[match.Mask] = st
+		m.subtables = append(m.subtables, st)
+	}
+	if old, ok := st.entries[match.Key]; ok {
+		old.Verdict = v
+		old.Added = now
+		return old, nil
+	}
+	if m.limit > 0 && m.nEntries >= m.limit {
+		return nil, ErrFlowLimit
+	}
+	ent := &Entry{Match: match, Verdict: v, Added: now, LastHit: now}
+	st.entries[match.Key] = ent
+	m.nEntries++
+	return ent, nil
+}
+
+// Remove deletes the entry with exactly the given match.
+func (m *Megaflow) Remove(match flow.Match) bool {
+	match.Normalize()
+	st := m.byMask[match.Mask]
+	if st == nil {
+		return false
+	}
+	ent, ok := st.entries[match.Key]
+	if !ok {
+		return false
+	}
+	ent.dead = true
+	delete(st.entries, match.Key)
+	m.nEntries--
+	if len(st.entries) == 0 {
+		m.dropSubtable(st)
+	}
+	return true
+}
+
+// evictColdestSubtable removes the least-recently-hit subtable and all of
+// its entries — the LRU flavour of the mask-quota mitigation.
+func (m *Megaflow) evictColdestSubtable() {
+	if len(m.subtables) == 0 {
+		return
+	}
+	coldest := m.subtables[0]
+	for _, st := range m.subtables[1:] {
+		if st.lastHit < coldest.lastHit {
+			coldest = st
+		}
+	}
+	for k, ent := range coldest.entries {
+		ent.dead = true
+		delete(coldest.entries, k)
+		m.nEntries--
+	}
+	m.dropSubtable(coldest)
+}
+
+func (m *Megaflow) dropSubtable(st *mfSubtable) {
+	delete(m.byMask, st.mask)
+	for i, have := range m.subtables {
+		if have == st {
+			m.subtables = append(m.subtables[:i], m.subtables[i+1:]...)
+			return
+		}
+	}
+}
+
+// EvictIdle removes entries whose LastHit is older than deadline,
+// returning how many were evicted. This is the revalidator's idle-timeout
+// sweep (OVS max-idle, default 10s).
+func (m *Megaflow) EvictIdle(deadline uint64) int {
+	evicted := 0
+	for i := 0; i < len(m.subtables); {
+		st := m.subtables[i]
+		for k, ent := range st.entries {
+			if ent.LastHit < deadline {
+				ent.dead = true
+				delete(st.entries, k)
+				m.nEntries--
+				evicted++
+			}
+		}
+		if len(st.entries) == 0 {
+			m.dropSubtable(st)
+			continue // subtables slice shifted; revisit index i
+		}
+		i++
+	}
+	return evicted
+}
+
+// Revalidate re-checks every entry against the slow path via check, which
+// returns the fresh verdict and whether the entry may stay. Entries whose
+// verdict changed or that must go are removed; the flush count is
+// returned. This models the OVS revalidator's consistency pass after
+// flow-table changes.
+func (m *Megaflow) Revalidate(check func(*Entry) (Verdict, bool)) int {
+	flushed := 0
+	for i := 0; i < len(m.subtables); {
+		st := m.subtables[i]
+		for k, ent := range st.entries {
+			v, keep := check(ent)
+			if !keep || v != ent.Verdict {
+				ent.dead = true
+				delete(st.entries, k)
+				m.nEntries--
+				flushed++
+			}
+		}
+		if len(st.entries) == 0 {
+			m.dropSubtable(st)
+			continue
+		}
+		i++
+	}
+	return flushed
+}
+
+// Flush drops everything.
+func (m *Megaflow) Flush() {
+	for _, st := range m.subtables {
+		for _, ent := range st.entries {
+			ent.dead = true
+		}
+	}
+	m.subtables = nil
+	m.byMask = make(map[flow.Mask]*mfSubtable)
+	m.nEntries = 0
+}
+
+// Entries returns all cached entries, subtable scan order first.
+func (m *Megaflow) Entries() []*Entry {
+	out := make([]*Entry, 0, m.nEntries)
+	for _, st := range m.subtables {
+		for _, ent := range st.entries {
+			out = append(out, ent)
+		}
+	}
+	return out
+}
+
+// AvgMasksScanned returns the running average subtables visited per
+// lookup.
+func (m *Megaflow) AvgMasksScanned() float64 {
+	if m.Lookups == 0 {
+		return 0
+	}
+	return float64(m.MasksScanned) / float64(m.Lookups)
+}
+
+// String summarises cache state like `ovs-dpctl show`.
+func (m *Megaflow) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "megaflow cache: %d entries, %d masks, %.2f avg masks/lookup (hit %d / miss %d)\n",
+		m.nEntries, len(m.subtables), m.AvgMasksScanned(), m.Hits, m.Misses)
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"policyinject/internal/flow"
+)
+
+// naiveStore is the reference the TSS cache is differential-tested
+// against: a flat list scanned first-match, with the same non-overlap
+// assumption the slow path guarantees.
+type naiveStore struct {
+	matches  []flow.Match
+	verdicts []Verdict
+}
+
+func (n *naiveStore) insert(m flow.Match, v Verdict) {
+	m.Normalize()
+	for i := range n.matches {
+		if n.matches[i] == m {
+			n.verdicts[i] = v
+			return
+		}
+	}
+	n.matches = append(n.matches, m)
+	n.verdicts = append(n.verdicts, v)
+}
+
+func (n *naiveStore) remove(m flow.Match) bool {
+	m.Normalize()
+	for i := range n.matches {
+		if n.matches[i] == m {
+			n.matches = append(n.matches[:i], n.matches[i+1:]...)
+			n.verdicts = append(n.verdicts[:i], n.verdicts[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (n *naiveStore) lookup(k flow.Key) (Verdict, bool) {
+	for i := range n.matches {
+		if n.matches[i].Matches(k) {
+			return n.verdicts[i], true
+		}
+	}
+	return Verdict{}, false
+}
+
+// randomNonOverlapMatch produces divergence-prefix-shaped matches like the
+// slow path synthesises: prefixes over ip_src and tp_dst plus an exact
+// in_port. Generated per the attack's tiling, they never conflict: two
+// matches either describe disjoint key sets or identical ones.
+func randomNonOverlapMatch(rng *rand.Rand) flow.Match {
+	var m flow.Match
+	m.Key.Set(flow.FieldInPort, uint64(rng.Intn(3)))
+	m.Mask.SetExact(flow.FieldInPort)
+	d1 := 1 + rng.Intn(32)
+	m.Key.Set(flow.FieldIPSrc, uint64(0x0a000001)^(1<<uint(32-d1)))
+	m.Mask.SetPrefix(flow.FieldIPSrc, d1)
+	d2 := 1 + rng.Intn(16)
+	m.Key.Set(flow.FieldTPDst, uint64(80^(1<<uint(16-d2))))
+	m.Mask.SetPrefix(flow.FieldTPDst, d2)
+	m.Normalize()
+	return m
+}
+
+// TestMegaflowDifferentialAgainstNaive drives random insert/remove/lookup
+// traffic through the TSS cache and the naive matcher and demands
+// identical verdicts throughout. Hits also refresh LastHit identically, so
+// idle eviction is cross-checked at the end.
+func TestMegaflowDifferentialAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	mfc := NewMegaflow(MegaflowConfig{})
+	ref := &naiveStore{}
+	verdicts := []Verdict{allow, deny}
+
+	var live []flow.Match
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert
+			m := randomNonOverlapMatch(rng)
+			v := verdicts[rng.Intn(2)]
+			if _, err := mfc.Insert(m, v, uint64(step)); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			ref.insert(m, v)
+			live = append(live, m)
+		case op < 5 && len(live) > 0: // remove
+			i := rng.Intn(len(live))
+			m := live[i]
+			got := mfc.Remove(m)
+			want := ref.remove(m)
+			if got != want {
+				t.Fatalf("step %d: Remove=%v ref=%v", step, got, want)
+			}
+			live = append(live[:i], live[i+1:]...)
+		default: // lookup
+			var k flow.Key
+			k.Set(flow.FieldInPort, uint64(rng.Intn(3)))
+			k.Set(flow.FieldIPSrc, uint64(0x0a000001)^(1<<uint(rng.Intn(32))))
+			k.Set(flow.FieldTPDst, uint64(80^(1<<uint(rng.Intn(16)))))
+			ent, _, ok := mfc.Lookup(k, uint64(step))
+			wantV, wantOK := ref.lookup(k)
+			if ok != wantOK {
+				t.Fatalf("step %d: lookup(%v) hit=%v ref=%v", step, k, ok, wantOK)
+			}
+			if ok && ent.Verdict != wantV {
+				t.Fatalf("step %d: verdict %v ref %v", step, ent.Verdict, wantV)
+			}
+		}
+		if mfc.Len() != len(ref.matches) {
+			t.Fatalf("step %d: len %d vs ref %d", step, mfc.Len(), len(ref.matches))
+		}
+	}
+	// Idle-evict everything and confirm emptiness agrees.
+	mfc.EvictIdle(1 << 60)
+	if mfc.Len() != 0 || mfc.NumMasks() != 0 {
+		t.Fatalf("eviction left %d entries / %d masks", mfc.Len(), mfc.NumMasks())
+	}
+}

@@ -1,0 +1,128 @@
+package cms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Labels are the key/value tags attached to pods, as in Kubernetes.
+type Labels map[string]string
+
+// Selector matches pods by label equality, the matchLabels core of
+// Kubernetes selectors: every listed key must be present with the listed
+// value. An empty selector matches every pod (of the tenant).
+type Selector map[string]string
+
+// Matches reports whether the selector selects a pod with the given
+// labels.
+func (s Selector) Matches(l Labels) bool {
+	for k, v := range s {
+		if l[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the selector canonically (sorted keys).
+func (s Selector) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, s[k]))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SetLabels replaces a pod's labels and re-applies any selector-based
+// policies of its tenant, exactly as a Kubernetes label update retriggers
+// policy evaluation.
+func (c *Cluster) SetLabels(tenant, podName string, l Labels) error {
+	p := c.pods[podName]
+	if p == nil {
+		return fmt.Errorf("cms: no pod %q", podName)
+	}
+	if p.Tenant != tenant {
+		return fmt.Errorf("cms: tenant %q does not own pod %q", tenant, podName)
+	}
+	p.Labels = make(Labels, len(l))
+	for k, v := range l {
+		p.Labels[k] = v
+	}
+	return c.reconcile(tenant)
+}
+
+// ApplySelectorPolicy installs pol on every pod of the tenant the selector
+// matches, and records it so future label changes and pod deployments
+// reconcile automatically — the NetworkPolicy contract.
+func (c *Cluster) ApplySelectorPolicy(tenant string, sel Selector, pol *Policy) error {
+	if pol.Name == "" {
+		return fmt.Errorf("cms: selector policy needs a name")
+	}
+	for _, sp := range c.selectorPolicies[tenant] {
+		if sp.policy.Name == pol.Name {
+			sp.selector = sel
+			sp.policy = pol
+			return c.reconcile(tenant)
+		}
+	}
+	c.selectorPolicies[tenant] = append(c.selectorPolicies[tenant], &selectorPolicy{
+		selector: sel, policy: pol,
+	})
+	return c.reconcile(tenant)
+}
+
+// DeleteSelectorPolicy removes a named selector policy and reconciles.
+func (c *Cluster) DeleteSelectorPolicy(tenant, name string) error {
+	sps := c.selectorPolicies[tenant]
+	for i, sp := range sps {
+		if sp.policy.Name == name {
+			c.selectorPolicies[tenant] = append(sps[:i], sps[i+1:]...)
+			return c.reconcile(tenant)
+		}
+	}
+	return fmt.Errorf("cms: tenant %q has no policy %q", tenant, name)
+}
+
+type selectorPolicy struct {
+	selector Selector
+	policy   *Policy
+}
+
+// reconcile re-evaluates every selector policy of a tenant against its
+// pods: matched pods get the policy (last-applied wins on multiple
+// matches, deterministic by application order), unmatched previously
+// policed pods revert to open.
+func (c *Cluster) reconcile(tenant string) error {
+	for _, p := range c.pods {
+		if p.Tenant != tenant {
+			continue
+		}
+		var want *Policy
+		for _, sp := range c.selectorPolicies[tenant] {
+			if sp.selector.Matches(p.Labels) {
+				want = sp.policy
+			}
+		}
+		switch {
+		case want == nil && p.policy != nil && p.fromSelector:
+			if err := c.RemovePolicy(tenant, p.Name); err != nil {
+				return err
+			}
+		case want != nil && p.policy != want:
+			if err := c.ApplyPolicy(tenant, p.Name, want); err != nil {
+				return err
+			}
+			p.fromSelector = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package cms
+
+import (
+	"net/netip"
+	"testing"
+
+	"policyinject/internal/acl"
+	"policyinject/internal/flowtable"
+)
+
+func lockdown(name string) *Policy {
+	return &Policy{Name: name} // empty whitelist = deny all ingress
+}
+
+func allowAllFrom(name, cidr string) *Policy {
+	return &Policy{Name: name, Ingress: []acl.Entry{{Src: netip.MustParsePrefix(cidr)}}}
+}
+
+func TestSelectorMatches(t *testing.T) {
+	s := Selector{"app": "web", "tier": "front"}
+	if !s.Matches(Labels{"app": "web", "tier": "front", "extra": "x"}) {
+		t.Error("superset labels should match")
+	}
+	if s.Matches(Labels{"app": "web"}) {
+		t.Error("missing key matched")
+	}
+	if s.Matches(Labels{"app": "db", "tier": "front"}) {
+		t.Error("wrong value matched")
+	}
+	if !(Selector{}).Matches(nil) {
+		t.Error("empty selector must match everything")
+	}
+	if got := s.String(); got != "{app=web,tier=front}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Selector{}).String(); got != "{}" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+func TestSelectorPolicyAppliesToMatchedPods(t *testing.T) {
+	c := cluster(t)
+	web, _ := c.DeployPod("acme", "web-1", "server-1")
+	db, _ := c.DeployPod("acme", "db-1", "server-1")
+	must(t, c.SetLabels("acme", "web-1", Labels{"app": "web"}))
+	must(t, c.SetLabels("acme", "db-1", Labels{"app": "db"}))
+
+	must(t, c.ApplySelectorPolicy("acme", Selector{"app": "web"}, lockdown("web-lockdown")))
+	if web.Policy() == nil || web.Policy().Name != "web-lockdown" {
+		t.Fatalf("web policy = %v", web.Policy())
+	}
+	if db.Policy() != nil {
+		t.Fatalf("db policy leaked: %v", db.Policy())
+	}
+	// Dataplane agrees.
+	sw := web.Node.Switch
+	if d := sw.ProcessKey(1, key(web.Port, "10.0.0.1", 80)); d.Verdict.Verdict != flowtable.Deny {
+		t.Error("selected pod not locked down")
+	}
+	if d := sw.ProcessKey(1, key(db.Port, "10.0.0.1", 80)); d.Verdict.Verdict != flowtable.Allow {
+		t.Error("unselected pod locked down")
+	}
+}
+
+func TestLabelChangeReconciles(t *testing.T) {
+	c := cluster(t)
+	p, _ := c.DeployPod("acme", "worker", "server-1")
+	must(t, c.ApplySelectorPolicy("acme", Selector{"role": "secure"}, lockdown("secure")))
+	if p.Policy() != nil {
+		t.Fatal("unlabelled pod selected")
+	}
+	// Label it in: policy applies.
+	must(t, c.SetLabels("acme", "worker", Labels{"role": "secure"}))
+	if p.Policy() == nil {
+		t.Fatal("label addition did not apply policy")
+	}
+	// Label it out: policy reverts.
+	must(t, c.SetLabels("acme", "worker", Labels{"role": "open"}))
+	if p.Policy() != nil {
+		t.Fatal("label removal did not revert policy")
+	}
+	if d := p.Node.Switch.ProcessKey(1, key(p.Port, "9.9.9.9", 1)); d.Verdict.Verdict != flowtable.Allow {
+		t.Error("pod not reopened after deselection")
+	}
+}
+
+func TestNewPodPicksUpSelectorPolicy(t *testing.T) {
+	c := cluster(t)
+	must(t, c.ApplySelectorPolicy("acme", Selector{}, lockdown("tenant-default-deny")))
+	p, err := c.DeployPod("acme", "late", "server-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Policy() == nil || p.Policy().Name != "tenant-default-deny" {
+		t.Fatalf("new pod policy = %v", p.Policy())
+	}
+}
+
+func TestSelectorPolicyUpdateAndDelete(t *testing.T) {
+	c := cluster(t)
+	p, _ := c.DeployPod("acme", "svc", "server-1")
+	must(t, c.SetLabels("acme", "svc", Labels{"app": "svc"}))
+	must(t, c.ApplySelectorPolicy("acme", Selector{"app": "svc"}, lockdown("v1")))
+	// Update by name: same policy object name, new content.
+	must(t, c.ApplySelectorPolicy("acme", Selector{"app": "svc"}, allowAllFrom("v1", "10.0.0.0/8")))
+	if d := p.Node.Switch.ProcessKey(1, key(p.Port, "10.1.1.1", 80)); d.Verdict.Verdict != flowtable.Allow {
+		t.Error("policy update not applied")
+	}
+	must(t, c.DeleteSelectorPolicy("acme", "v1"))
+	if p.Policy() != nil {
+		t.Fatal("delete did not revert pod")
+	}
+	if err := c.DeleteSelectorPolicy("acme", "nope"); err == nil {
+		t.Error("deleting unknown policy succeeded")
+	}
+}
+
+func TestSelectorPoliciesAreTenantScoped(t *testing.T) {
+	c := cluster(t)
+	mine, _ := c.DeployPod("acme", "mine", "server-1")
+	theirs, _ := c.DeployPod("mallory", "theirs", "server-1")
+	must(t, c.SetLabels("acme", "mine", Labels{"app": "x"}))
+	must(t, c.SetLabels("mallory", "theirs", Labels{"app": "x"}))
+	must(t, c.ApplySelectorPolicy("acme", Selector{"app": "x"}, lockdown("acme-only")))
+	if mine.Policy() == nil {
+		t.Fatal("own pod not selected")
+	}
+	if theirs.Policy() != nil {
+		t.Fatal("selector policy crossed tenants")
+	}
+	if err := c.SetLabels("acme", "theirs", Labels{}); err == nil {
+		t.Error("cross-tenant SetLabels succeeded")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

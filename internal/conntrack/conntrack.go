@@ -1,0 +1,233 @@
+// Package conntrack implements the connection tracker behind stateful
+// security groups (the OpenStack flavour of the paper's ACLs): a
+// bidirectional 5-tuple table that classifies packets as new, established
+// or reply, feeding the ct_state field the post-recirculation flow rules
+// match on.
+//
+// The model follows the OVS/netfilter integration in shape: the dataplane
+// sends untracked packets through Lookup (the "ct" action), re-classifies
+// them with ct_state set (recirculation — a second, separately billed
+// classifier pass), and Commits connections that the policy admits. The
+// part that matters for the paper's attack is preserved faithfully:
+// tracked traffic still traverses the megaflow TSS (twice, in fact), so
+// statefulness does not shield the victim from mask explosion.
+package conntrack
+
+import (
+	"fmt"
+	"net/netip"
+
+	"policyinject/internal/flow"
+)
+
+// State classifies a packet against the table.
+type State uint8
+
+const (
+	// StateInvalid: the packet cannot belong to a trackable connection.
+	StateInvalid State = iota
+	// StateNew: the packet would create a connection that is not
+	// committed yet.
+	StateNew
+	// StateEstablished: the packet belongs to a committed connection that
+	// has been seen in both directions.
+	StateEstablished
+	// StateReply: the first packet(s) in the reverse direction of a
+	// committed connection; subsequent packets report StateEstablished.
+	StateReply
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateEstablished:
+		return "est"
+	case StateReply:
+		return "rpl"
+	default:
+		return "inv"
+	}
+}
+
+// CTBits renders the state as the ct_state field bits for a tracked
+// packet.
+func (s State) CTBits() uint64 {
+	bits := flow.CTTracked
+	switch s {
+	case StateNew:
+		bits |= flow.CTNew
+	case StateEstablished:
+		bits |= flow.CTEstablished
+	case StateReply:
+		bits |= flow.CTEstablished | flow.CTReply
+	default:
+		bits |= flow.CTInvalid
+	}
+	return bits
+}
+
+// Conn is one tracked connection.
+type Conn struct {
+	Orig      flow.FiveTuple // direction of the committing packet
+	Created   uint64
+	LastSeen  uint64
+	Packets   uint64
+	SeenReply bool
+}
+
+// Config tunes the tracker.
+type Config struct {
+	// MaxConns caps the table (nf_conntrack_max); 0 means 65536.
+	MaxConns int
+	// IdleTimeout is the logical-time eviction horizon used by Expire;
+	// 0 means 120 (OVS defaults are protocol-dependent; one knob
+	// suffices for the model).
+	IdleTimeout uint64
+}
+
+// Table is the connection table. Not safe for concurrent use.
+type Table struct {
+	cfg   Config
+	conns map[flow.FiveTuple]*Conn // keyed by canonical direction
+
+	// Stats
+	Lookups, Commits, Drops, Expired uint64
+}
+
+// New builds a Table.
+func New(cfg Config) *Table {
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 65536
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 120
+	}
+	return &Table{cfg: cfg, conns: make(map[flow.FiveTuple]*Conn)}
+}
+
+// Len returns the number of tracked connections.
+func (t *Table) Len() int { return len(t.conns) }
+
+// canonical orders a tuple so both directions map to one key.
+func canonical(ft flow.FiveTuple) (flow.FiveTuple, bool) {
+	r := reverse(ft)
+	if less(r, ft) {
+		return r, true // stored reversed
+	}
+	return ft, false
+}
+
+func reverse(ft flow.FiveTuple) flow.FiveTuple {
+	return flow.FiveTuple{
+		Src: ft.Dst, Dst: ft.Src, Proto: ft.Proto,
+		SrcPort: ft.DstPort, DstPort: ft.SrcPort,
+	}
+}
+
+func less(a, b flow.FiveTuple) bool {
+	if c := a.Src.Compare(b.Src); c != 0 {
+		return c < 0
+	}
+	if c := a.Dst.Compare(b.Dst); c != 0 {
+		return c < 0
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	return a.DstPort < b.DstPort
+}
+
+// trackable rejects tuples conntrack cannot follow.
+func trackable(ft flow.FiveTuple) bool {
+	if !ft.Src.IsValid() || !ft.Dst.IsValid() {
+		return false
+	}
+	switch uint64(ft.Proto) {
+	case flow.ProtoTCP, flow.ProtoUDP, flow.ProtoICMP, flow.ProtoICMPv6:
+		return true
+	default:
+		return false
+	}
+}
+
+// Lookup classifies the packet and refreshes the matched connection —
+// the "ct" action. It does not create state; only Commit does.
+func (t *Table) Lookup(ft flow.FiveTuple, now uint64) (State, *Conn) {
+	t.Lookups++
+	if !trackable(ft) {
+		return StateInvalid, nil
+	}
+	key, _ := canonical(ft)
+	conn, ok := t.conns[key]
+	if !ok {
+		return StateNew, nil
+	}
+	conn.Packets++
+	conn.LastSeen = now
+	if ft == conn.Orig {
+		if conn.SeenReply {
+			return StateEstablished, conn
+		}
+		return StateNew, conn // still unanswered: repeat originals stay +new
+	}
+	// Reverse direction.
+	if conn.SeenReply {
+		return StateEstablished, conn
+	}
+	conn.SeenReply = true
+	return StateReply, conn
+}
+
+// Commit creates (or refreshes) the connection for a packet the policy
+// admitted — the "ct(commit)" action. It reports false when the table is
+// full, in which case the caller should drop, as netfilter does.
+func (t *Table) Commit(ft flow.FiveTuple, now uint64) bool {
+	if !trackable(ft) {
+		return false
+	}
+	key, _ := canonical(ft)
+	if conn, ok := t.conns[key]; ok {
+		conn.LastSeen = now
+		return true
+	}
+	if len(t.conns) >= t.cfg.MaxConns {
+		t.Drops++
+		return false
+	}
+	t.conns[key] = &Conn{Orig: ft, Created: now, LastSeen: now, Packets: 1}
+	t.Commits++
+	return true
+}
+
+// Expire removes connections idle past the configured timeout, returning
+// the eviction count.
+func (t *Table) Expire(now uint64) int {
+	if now < t.cfg.IdleTimeout {
+		return 0
+	}
+	deadline := now - t.cfg.IdleTimeout
+	n := 0
+	for k, c := range t.conns {
+		if c.LastSeen < deadline {
+			delete(t.conns, k)
+			n++
+		}
+	}
+	t.Expired += uint64(n)
+	return n
+}
+
+// String summarises the table.
+func (t *Table) String() string {
+	return fmt.Sprintf("conntrack: %d/%d conns (commits %d, drops %d, expired %d)",
+		len(t.conns), t.cfg.MaxConns, t.Commits, t.Drops, t.Expired)
+}
+
+// MustTuple builds a FiveTuple for tests and examples.
+func MustTuple(src, dst string, proto uint8, sport, dport uint16) flow.FiveTuple {
+	return flow.FiveTuple{
+		Src: netip.MustParseAddr(src), Dst: netip.MustParseAddr(dst),
+		Proto: proto, SrcPort: sport, DstPort: dport,
+	}
+}

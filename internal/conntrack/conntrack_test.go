@@ -1,0 +1,167 @@
+package conntrack
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"policyinject/internal/flow"
+)
+
+var (
+	fwd = MustTuple("10.0.0.1", "10.0.0.2", 6, 40000, 443)
+	rev = MustTuple("10.0.0.2", "10.0.0.1", 6, 443, 40000)
+)
+
+func TestConnectionLifecycle(t *testing.T) {
+	ct := New(Config{})
+	// Untracked first packet: new, no state created by Lookup alone.
+	if s, _ := ct.Lookup(fwd, 1); s != StateNew {
+		t.Fatalf("state = %v", s)
+	}
+	if ct.Len() != 0 {
+		t.Fatal("Lookup created state")
+	}
+	// Policy admits it: commit.
+	if !ct.Commit(fwd, 1) {
+		t.Fatal("Commit failed")
+	}
+	// Retransmission before any reply: still new.
+	if s, _ := ct.Lookup(fwd, 2); s != StateNew {
+		t.Fatalf("retransmission state = %v", s)
+	}
+	// First reply: Reply, then both directions are Established.
+	if s, _ := ct.Lookup(rev, 3); s != StateReply {
+		t.Fatalf("reply state = %v", s)
+	}
+	if s, _ := ct.Lookup(fwd, 4); s != StateEstablished {
+		t.Fatalf("forward after reply = %v", s)
+	}
+	if s, _ := ct.Lookup(rev, 5); s != StateEstablished {
+		t.Fatalf("reverse after reply = %v", s)
+	}
+	if ct.Len() != 1 {
+		t.Fatalf("conns = %d", ct.Len())
+	}
+}
+
+func TestBidirectionalCanonicalKey(t *testing.T) {
+	ct := New(Config{})
+	ct.Commit(fwd, 1)
+	// Committing the reverse direction must not create a second conn.
+	ct.Commit(rev, 2)
+	if ct.Len() != 1 {
+		t.Fatalf("conns = %d, want 1", ct.Len())
+	}
+}
+
+func TestUntrackableProtocols(t *testing.T) {
+	ct := New(Config{})
+	weird := MustTuple("10.0.0.1", "10.0.0.2", 89 /* OSPF */, 0, 0)
+	if s, _ := ct.Lookup(weird, 1); s != StateInvalid {
+		t.Fatalf("state = %v", s)
+	}
+	if ct.Commit(weird, 1) {
+		t.Fatal("untrackable proto committed")
+	}
+	if s, _ := ct.Lookup(flow.FiveTuple{}, 1); s != StateInvalid {
+		t.Fatal("zero tuple trackable")
+	}
+}
+
+func TestTableLimitDrops(t *testing.T) {
+	ct := New(Config{MaxConns: 3})
+	for i := 0; i < 5; i++ {
+		ft := MustTuple("10.0.0.1", "10.0.0.2", 6, uint16(1000+i), 80)
+		ct.Commit(ft, 1)
+	}
+	if ct.Len() != 3 {
+		t.Fatalf("conns = %d", ct.Len())
+	}
+	if ct.Drops != 2 {
+		t.Fatalf("drops = %d", ct.Drops)
+	}
+	// Refreshing an existing conn at the limit still succeeds.
+	if !ct.Commit(MustTuple("10.0.0.1", "10.0.0.2", 6, 1000, 80), 9) {
+		t.Fatal("refresh at limit failed")
+	}
+}
+
+func TestExpire(t *testing.T) {
+	ct := New(Config{IdleTimeout: 10})
+	ct.Commit(fwd, 1)
+	other := MustTuple("10.0.0.3", "10.0.0.4", 17, 53, 53)
+	ct.Commit(other, 1)
+	ct.Lookup(fwd, 50) // keep fwd warm
+	if n := ct.Expire(55); n != 1 {
+		t.Fatalf("expired = %d, want 1", n)
+	}
+	if ct.Len() != 1 {
+		t.Fatalf("conns = %d", ct.Len())
+	}
+	if n := ct.Expire(5); n != 0 {
+		t.Fatalf("early expire removed %d", n)
+	}
+}
+
+func TestCTBits(t *testing.T) {
+	cases := []struct {
+		s    State
+		want uint64
+	}{
+		{StateNew, flow.CTTracked | flow.CTNew},
+		{StateEstablished, flow.CTTracked | flow.CTEstablished},
+		{StateReply, flow.CTTracked | flow.CTEstablished | flow.CTReply},
+		{StateInvalid, flow.CTTracked | flow.CTInvalid},
+	}
+	for _, c := range cases {
+		if got := c.s.CTBits(); got != c.want {
+			t.Errorf("%v bits = %#x, want %#x", c.s, got, c.want)
+		}
+	}
+	if StateNew.String() != "new" || StateInvalid.String() != "inv" {
+		t.Error("state strings wrong")
+	}
+}
+
+// Property: for random tuples, Lookup(t) and Lookup(reverse(t)) resolve to
+// the same connection once committed.
+func TestCanonicalisationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ct := New(Config{MaxConns: 100000})
+	for trial := 0; trial < 2000; trial++ {
+		ft := flow.FiveTuple{
+			Src:     netip.AddrFrom4([4]byte{10, byte(rng.Intn(4)), byte(rng.Intn(4)), byte(rng.Intn(4))}),
+			Dst:     netip.AddrFrom4([4]byte{10, byte(rng.Intn(4)), byte(rng.Intn(4)), byte(rng.Intn(4))}),
+			Proto:   6,
+			SrcPort: uint16(rng.Intn(8)),
+			DstPort: uint16(rng.Intn(8)),
+		}
+		before := ct.Len()
+		ct.Commit(ft, uint64(trial))
+		ct.Commit(reverse(ft), uint64(trial))
+		if ct.Len() > before+1 {
+			t.Fatalf("trial %d: commit of both directions created two conns (%+v)", trial, ft)
+		}
+	}
+}
+
+func TestIPv6Tracking(t *testing.T) {
+	ct := New(Config{})
+	v6 := MustTuple("2001:db8::1", "2001:db8::2", 6, 1000, 443)
+	if !ct.Commit(v6, 1) {
+		t.Fatal("v6 commit failed")
+	}
+	if s, _ := ct.Lookup(reverse(v6), 2); s != StateReply {
+		t.Fatalf("v6 reply state = %v", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	ct := New(Config{})
+	ct.Commit(fwd, 1)
+	if s := ct.String(); !strings.Contains(s, "1/65536") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,113 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+)
+
+// PMDPool models the multi-core OVS datapath: one poll-mode-driver (PMD)
+// instance per core, each with its *own* caches (EMC and megaflow TSS,
+// exactly as OVS keeps dpcls instances per PMD), fed by RSS — packets are
+// steered to a PMD by flow-key hash, so one flow's packets always land on
+// the same core.
+//
+// The multi-queue view adds an honest nuance to the attack analysis: RSS
+// spreads the covert stream's distinct 5-tuples across PMDs, so each core
+// accumulates roughly 1/N of the masks — and the victim's flow, pinned to
+// one core, scans only that core's share. The attacker's counter is
+// equally mundane: the covert stream is so cheap that sending N times as
+// many packets (or biasing the 5-tuples toward the victim's queue, where
+// the RSS function is known) restores the full count.
+type PMDPool struct {
+	pmds []*Switch
+}
+
+// NewPMDPool builds n PMD instances, each configured per cfg. Rule
+// installation is replicated to every PMD, as the shared classifier would
+// be visible to each.
+func NewPMDPool(n int, cfg Config) *PMDPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &PMDPool{}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Name = fmt.Sprintf("%s/pmd%d", cfg.Name, i)
+		p.pmds = append(p.pmds, New(c))
+	}
+	return p
+}
+
+// N returns the number of PMDs.
+func (p *PMDPool) N() int { return len(p.pmds) }
+
+// PMD returns the i-th instance, for inspection.
+func (p *PMDPool) PMD(i int) *Switch { return p.pmds[i] }
+
+// InstallRule replicates a rule to every PMD.
+func (p *PMDPool) InstallRule(r flowtable.Rule) {
+	for _, sw := range p.pmds {
+		sw.InstallRule(r)
+	}
+}
+
+// Steer returns the PMD index RSS would pick for the key.
+func (p *PMDPool) Steer(k flow.Key) int {
+	return int(k.Hash() % uint64(len(p.pmds)))
+}
+
+// ProcessKey steers the packet to its PMD and processes it there. Not safe
+// for concurrent use; use ProcessBatch for parallel processing.
+func (p *PMDPool) ProcessKey(now uint64, k flow.Key) Decision {
+	return p.pmds[p.Steer(k)].ProcessKey(now, k)
+}
+
+// ProcessBatch distributes keys to their PMDs and processes each PMD's
+// share on its own goroutine — the actual parallelism of a multi-queue
+// NIC. It returns the per-PMD packet counts.
+func (p *PMDPool) ProcessBatch(now uint64, keys []flow.Key) []int {
+	buckets := make([][]flow.Key, len(p.pmds))
+	for _, k := range keys {
+		i := p.Steer(k)
+		buckets[i] = append(buckets[i], k)
+	}
+	var wg sync.WaitGroup
+	counts := make([]int, len(p.pmds))
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, bucket []flow.Key) {
+			defer wg.Done()
+			for _, k := range bucket {
+				p.pmds[i].ProcessKey(now, k)
+			}
+			counts[i] = len(bucket)
+		}(i, bucket)
+	}
+	wg.Wait()
+	return counts
+}
+
+// MasksPerPMD reports each PMD's megaflow mask count — the per-core view
+// of the attack's footprint.
+func (p *PMDPool) MasksPerPMD() []int {
+	out := make([]int, len(p.pmds))
+	for i, sw := range p.pmds {
+		out[i] = sw.Megaflow().NumMasks()
+	}
+	return out
+}
+
+// RunRevalidator sweeps every PMD.
+func (p *PMDPool) RunRevalidator(now uint64) int {
+	n := 0
+	for _, sw := range p.pmds {
+		n += sw.RunRevalidator(now)
+	}
+	return n
+}

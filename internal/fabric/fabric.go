@@ -1,0 +1,194 @@
+// Package fabric simulates the data-centre fabric of the paper's test
+// setup (Fig. 1): server nodes running hypervisor switches, connected by
+// capacity-limited links. Frames addressed to a pod are processed by the
+// pod's hypervisor switch with the pod's virtual port as ingress — the
+// "red dot" of Fig. 1 where the CMS installed the ACL.
+//
+// The fabric's role in the experiments is to show that the attack is not
+// bandwidth-borne: the covert stream fits in a trickle of link capacity
+// while the damage happens inside the destination hypervisor's CPU.
+package fabric
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"policyinject/internal/dataplane"
+	"policyinject/internal/flowtable"
+	"policyinject/internal/pkt"
+)
+
+// Endpoint is a pod/VM attachment: the hypervisor switch and virtual port
+// where its traffic is policed.
+type Endpoint struct {
+	Host string
+	Sw   *dataplane.Switch
+	Port uint32
+}
+
+// Link is a host-to-host fabric link with a byte budget per simulation
+// tick.
+type Link struct {
+	A, B string
+	BPS  float64 // capacity, bits per second
+
+	budget     float64 // remaining bytes this tick
+	SentBytes  uint64
+	DropBytes  uint64
+	SentFrames uint64
+	DropFrames uint64
+}
+
+func (l *Link) key() [2]string {
+	if l.A < l.B {
+		return [2]string{l.A, l.B}
+	}
+	return [2]string{l.B, l.A}
+}
+
+// Fabric is the topology: hosts, links and endpoints.
+type Fabric struct {
+	hosts     map[string]*dataplane.Switch
+	links     map[[2]string]*Link
+	endpoints map[netip.Addr]Endpoint
+}
+
+// New returns an empty fabric.
+func New() *Fabric {
+	return &Fabric{
+		hosts:     make(map[string]*dataplane.Switch),
+		links:     make(map[[2]string]*Link),
+		endpoints: make(map[netip.Addr]Endpoint),
+	}
+}
+
+// AddHost attaches a hypervisor switch as a fabric host.
+func (f *Fabric) AddHost(name string, sw *dataplane.Switch) error {
+	if _, ok := f.hosts[name]; ok {
+		return fmt.Errorf("fabric: host %q exists", name)
+	}
+	f.hosts[name] = sw
+	return nil
+}
+
+// Connect links two hosts at the given capacity (bits per second). The
+// link is bidirectional and shared.
+func (f *Fabric) Connect(a, b string, bps float64) (*Link, error) {
+	if f.hosts[a] == nil || f.hosts[b] == nil {
+		return nil, fmt.Errorf("fabric: connect %q-%q: unknown host", a, b)
+	}
+	l := &Link{A: a, B: b, BPS: bps}
+	if _, ok := f.links[l.key()]; ok {
+		return nil, fmt.Errorf("fabric: link %q-%q exists", a, b)
+	}
+	f.links[l.key()] = l
+	return l, nil
+}
+
+// Register attaches a pod IP to a host's switch port.
+func (f *Fabric) Register(ip netip.Addr, host string, port uint32) error {
+	sw := f.hosts[host]
+	if sw == nil {
+		return fmt.Errorf("fabric: register %v: unknown host %q", ip, host)
+	}
+	if _, ok := f.endpoints[ip]; ok {
+		return fmt.Errorf("fabric: %v already registered", ip)
+	}
+	f.endpoints[ip] = Endpoint{Host: host, Sw: sw, Port: port}
+	return nil
+}
+
+// Endpoint resolves a pod IP.
+func (f *Fabric) Endpoint(ip netip.Addr) (Endpoint, bool) {
+	e, ok := f.endpoints[ip]
+	return e, ok
+}
+
+// Tick resets every link's byte budget for a tick of dt seconds.
+func (f *Fabric) Tick(dt float64) {
+	for _, l := range f.links {
+		l.budget = l.BPS * dt / 8
+	}
+}
+
+// Result reports one frame's journey.
+type Result struct {
+	Decision  dataplane.Decision
+	Delivered bool   // false when dropped (policy, parse error or link)
+	DropLink  bool   // dropped for lack of link capacity
+	Host      string // processing host
+}
+
+// Send routes one frame from a source endpoint toward its IPv4
+// destination: it charges the fabric link (when the destination lives on a
+// different host) and then runs the frame through the destination
+// hypervisor's pipeline at the destination pod's virtual port.
+func (f *Fabric) Send(now uint64, srcIP netip.Addr, frame []byte) (Result, error) {
+	eth, err := pkt.DecodeEthernet(frame)
+	if err != nil {
+		return Result{}, fmt.Errorf("fabric: %w", err)
+	}
+	ip, err := pkt.DecodeIPv4(eth.Payload)
+	if err != nil {
+		return Result{}, fmt.Errorf("fabric: %w", err)
+	}
+	dst, ok := f.endpoints[ip.Dst]
+	if !ok {
+		return Result{}, fmt.Errorf("fabric: no endpoint for %v", ip.Dst)
+	}
+	src, ok := f.endpoints[srcIP]
+	if !ok {
+		return Result{}, fmt.Errorf("fabric: no endpoint for source %v", srcIP)
+	}
+	if src.Host != dst.Host {
+		l := f.links[linkKey(src.Host, dst.Host)]
+		if l == nil {
+			return Result{}, fmt.Errorf("fabric: no link %s-%s", src.Host, dst.Host)
+		}
+		if l.budget < float64(len(frame)) {
+			l.DropBytes += uint64(len(frame))
+			l.DropFrames++
+			return Result{Delivered: false, DropLink: true, Host: dst.Host}, nil
+		}
+		l.budget -= float64(len(frame))
+		l.SentBytes += uint64(len(frame))
+		l.SentFrames++
+	}
+	d, err := dst.Sw.Process(now, dst.Port, frame)
+	if err != nil {
+		return Result{Decision: d, Delivered: false, Host: dst.Host}, nil
+	}
+	return Result{
+		Decision:  d,
+		Delivered: d.Verdict.Verdict == flowtable.Allow,
+		Host:      dst.Host,
+	}, nil
+}
+
+func linkKey(a, b string) [2]string {
+	if a < b {
+		return [2]string{a, b}
+	}
+	return [2]string{b, a}
+}
+
+// Links returns the links sorted by endpoint names.
+func (f *Fabric) Links() []*Link {
+	out := make([]*Link, 0, len(f.links))
+	for _, l := range f.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key()[0]+out[i].key()[1] < out[j].key()[0]+out[j].key()[1] })
+	return out
+}
+
+// String renders the topology.
+func (f *Fabric) String() string {
+	s := fmt.Sprintf("fabric: %d hosts, %d links, %d endpoints\n", len(f.hosts), len(f.links), len(f.endpoints))
+	for _, l := range f.Links() {
+		s += fmt.Sprintf("  link %s-%s %.1f Gbps (sent %d, dropped %d frames)\n",
+			l.A, l.B, l.BPS/1e9, l.SentFrames, l.DropFrames)
+	}
+	return s
+}

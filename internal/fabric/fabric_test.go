@@ -1,0 +1,192 @@
+package fabric
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"policyinject/internal/dataplane"
+	"policyinject/internal/flowtable"
+	"policyinject/internal/pkt"
+)
+
+// twoServer builds the paper's Fig. 1 topology: two servers with
+// allow-all switches, a 10 Gbps fabric link, and one pod per server.
+func twoServer(t *testing.T) (*Fabric, netip.Addr, netip.Addr) {
+	t.Helper()
+	f := New()
+	for _, name := range []string{"server-1", "server-2"} {
+		sw := dataplane.New(dataplane.Config{Name: name})
+		sw.AddPort(1, "pod")
+		sw.InstallRule(flowtable.Rule{Priority: 0, Action: flowtable.Action{Verdict: flowtable.Allow}})
+		if err := f.AddHost(name, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Connect("server-1", "server-2", 10e9); err != nil {
+		t.Fatal(err)
+	}
+	a := netip.MustParseAddr("172.16.0.1")
+	b := netip.MustParseAddr("172.16.0.2")
+	if err := f.Register(a, "server-1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Register(b, "server-2", 1); err != nil {
+		t.Fatal(err)
+	}
+	return f, a, b
+}
+
+func frame(src, dst netip.Addr, size int) []byte {
+	return pkt.MustBuild(pkt.Spec{
+		Src: src, Dst: dst, Proto: pkt.ProtoTCP,
+		SrcPort: 1000, DstPort: 80, FrameLen: size,
+	})
+}
+
+func TestSendCrossHost(t *testing.T) {
+	f, a, b := twoServer(t)
+	f.Tick(1)
+	res, err := f.Send(1, a, frame(a, b, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || res.Host != "server-2" {
+		t.Fatalf("result: %+v", res)
+	}
+	l := f.Links()[0]
+	if l.SentFrames != 1 || l.SentBytes != 1500 {
+		t.Errorf("link stats: %+v", l)
+	}
+}
+
+func TestSendSameHostSkipsLink(t *testing.T) {
+	f, a, _ := twoServer(t)
+	c := netip.MustParseAddr("172.16.0.3")
+	if err := f.Register(c, "server-1", 1); err != nil {
+		t.Fatal(err)
+	}
+	f.Tick(1)
+	res, err := f.Send(1, a, frame(a, c, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatalf("result: %+v", res)
+	}
+	if f.Links()[0].SentFrames != 0 {
+		t.Error("same-host traffic charged the fabric link")
+	}
+}
+
+func TestLinkCapacityDrops(t *testing.T) {
+	f, a, b := twoServer(t)
+	f.Tick(0.001) // 10 Gbps * 1 ms / 8 = 1.25 MB budget
+	sent, dropped := 0, 0
+	for i := 0; i < 2000; i++ { // 2000 * 1500B = 3 MB > budget
+		res, err := f.Send(1, a, frame(a, b, 1500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DropLink {
+			dropped++
+		} else {
+			sent++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no drops despite oversubscription")
+	}
+	if sent < 800 || sent > 850 { // 1.25MB/1500B = 833
+		t.Errorf("sent %d frames, want ~833", sent)
+	}
+	// Budget replenishes on the next tick.
+	f.Tick(0.001)
+	if res, _ := f.Send(1, a, frame(a, b, 1500)); res.DropLink {
+		t.Error("budget did not replenish")
+	}
+}
+
+func TestCovertStreamFitsComfortably(t *testing.T) {
+	// The paper's premise: a 2 Mbps covert stream is noise on a DC link.
+	f, a, b := twoServer(t)
+	f.Tick(1)                   // one second
+	for i := 0; i < 3906; i++ { // 2 Mbps at 64-byte frames
+		res, err := f.Send(1, a, frame(a, b, 64))
+		if err != nil || res.DropLink {
+			t.Fatalf("covert frame %d dropped: %+v %v", i, res, err)
+		}
+	}
+	l := f.Links()[0]
+	if used := float64(l.SentBytes*8) / l.BPS; used > 0.001 {
+		t.Errorf("covert stream used %.4f%% of the link; expected well under 0.1%%", used*100)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	f, a, b := twoServer(t)
+	f.Tick(1)
+	// Unknown destination.
+	if _, err := f.Send(1, a, frame(a, netip.MustParseAddr("9.9.9.9"), 100)); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	// Unknown source.
+	if _, err := f.Send(1, netip.MustParseAddr("8.8.8.8"), frame(a, b, 100)); err == nil {
+		t.Error("unknown source accepted")
+	}
+	// Garbage frame.
+	if _, err := f.Send(1, a, []byte{1, 2, 3}); err == nil {
+		t.Error("garbage frame accepted")
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	f, a, _ := twoServer(t)
+	if err := f.AddHost("server-1", nil); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	if _, err := f.Connect("server-1", "nope", 1); err == nil {
+		t.Error("link to unknown host accepted")
+	}
+	if _, err := f.Connect("server-1", "server-2", 1); err == nil {
+		t.Error("duplicate link accepted")
+	}
+	if err := f.Register(a, "server-1", 2); err == nil {
+		t.Error("duplicate IP accepted")
+	}
+	if err := f.Register(netip.MustParseAddr("1.2.3.4"), "nope", 1); err == nil {
+		t.Error("register on unknown host accepted")
+	}
+}
+
+func TestPolicyDenyNotDelivered(t *testing.T) {
+	f := New()
+	sw := dataplane.New(dataplane.Config{})
+	sw.InstallRule(flowtable.Rule{Priority: 0}) // deny all
+	f.AddHost("h", sw)
+	a := netip.MustParseAddr("172.16.0.1")
+	b := netip.MustParseAddr("172.16.0.2")
+	f.Register(a, "h", 1)
+	f.Register(b, "h", 2)
+	f.Tick(1)
+	res, err := f.Send(1, a, frame(a, b, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered || res.DropLink {
+		t.Fatalf("denied frame misreported: %+v", res)
+	}
+}
+
+func TestEndpointAndString(t *testing.T) {
+	f, a, _ := twoServer(t)
+	if e, ok := f.Endpoint(a); !ok || e.Host != "server-1" {
+		t.Errorf("Endpoint = %+v, %v", e, ok)
+	}
+	if _, ok := f.Endpoint(netip.MustParseAddr("1.1.1.1")); ok {
+		t.Error("phantom endpoint")
+	}
+	if s := f.String(); !strings.Contains(s, "2 hosts") || !strings.Contains(s, "10.0 Gbps") {
+		t.Errorf("String() = %q", s)
+	}
+}

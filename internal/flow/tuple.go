@@ -1,0 +1,119 @@
+package flow
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// EtherType values the dataplane understands.
+const (
+	EthTypeIPv4 uint64 = 0x0800
+	EthTypeARP  uint64 = 0x0806
+	EthTypeVLAN uint64 = 0x8100
+	EthTypeIPv6 uint64 = 0x86dd
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP   uint64 = 1
+	ProtoTCP    uint64 = 6
+	ProtoUDP    uint64 = 17
+	ProtoICMPv6 uint64 = 58
+)
+
+// FiveTuple is the classic ACL matching unit: the IP source and destination
+// address, the transport protocol and the two ports. It exists as a
+// convenience bridge between human-level policy descriptions and Keys.
+type FiveTuple struct {
+	Src, Dst netip.Addr
+	Proto    uint8
+	SrcPort  uint16
+	DstPort  uint16
+}
+
+// V4 converts an IPv4 netip.Addr to the 32-bit representation used in Keys.
+// It panics when addr is not IPv4 (including IPv4-mapped IPv6); callers
+// validate addresses at policy-admission time.
+func V4(addr netip.Addr) uint64 {
+	a := addr.Unmap()
+	if !a.Is4() {
+		panic(fmt.Sprintf("flow: %v is not an IPv4 address", addr))
+	}
+	b := a.As4()
+	return uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+}
+
+// V4Addr converts a key-encoded IPv4 value back to a netip.Addr.
+func V4Addr(v uint64) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Key builds the canonical flow key for the tuple arriving on inPort. The
+// Ethernet addresses are left zero: ACL processing in this system is
+// L3/L4-driven, exactly as in the paper's CMS-installed policies.
+func (t FiveTuple) Key(inPort uint32) Key {
+	var k Key
+	k.Set(FieldInPort, uint64(inPort))
+	k.Set(FieldIPProto, uint64(t.Proto))
+	if t.Src.Unmap().Is4() {
+		k.Set(FieldEthType, EthTypeIPv4)
+		k.Set(FieldIPSrc, V4(t.Src))
+		k.Set(FieldIPDst, V4(t.Dst))
+	} else {
+		k.Set(FieldEthType, EthTypeIPv6)
+		s := t.Src.As16()
+		d := t.Dst.As16()
+		k.Set(FieldIPv6SrcHi, be64(s[:8]))
+		k.Set(FieldIPv6SrcLo, be64(s[8:]))
+		k.Set(FieldIPv6DstHi, be64(d[:8]))
+		k.Set(FieldIPv6DstLo, be64(d[8:]))
+	}
+	switch uint64(t.Proto) {
+	case ProtoTCP, ProtoUDP:
+		k.Set(FieldTPSrc, uint64(t.SrcPort))
+		k.Set(FieldTPDst, uint64(t.DstPort))
+	case ProtoICMP, ProtoICMPv6:
+		k.Set(FieldICMPType, uint64(t.SrcPort))
+		k.Set(FieldICMPCode, uint64(t.DstPort))
+	}
+	return k
+}
+
+// Tuple extracts the five-tuple view of a key, dispatching on eth_type
+// for the address family.
+func (k Key) Tuple() FiveTuple {
+	t := FiveTuple{
+		Proto:   uint8(k.Get(FieldIPProto)),
+		SrcPort: uint16(k.Get(FieldTPSrc)),
+		DstPort: uint16(k.Get(FieldTPDst)),
+	}
+	if k.Get(FieldEthType) == EthTypeIPv6 {
+		t.Src = v6Addr(k.Get(FieldIPv6SrcHi), k.Get(FieldIPv6SrcLo))
+		t.Dst = v6Addr(k.Get(FieldIPv6DstHi), k.Get(FieldIPv6DstLo))
+		return t
+	}
+	t.Src = V4Addr(k.Get(FieldIPSrc))
+	t.Dst = V4Addr(k.Get(FieldIPDst))
+	return t
+}
+
+// V6 splits an IPv6 address into the two 64-bit halves stored in Keys.
+func V6(addr netip.Addr) (hi, lo uint64) {
+	b := addr.As16()
+	return be64(b[:8]), be64(b[8:])
+}
+
+func v6Addr(hi, lo uint64) netip.Addr {
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(hi >> uint(56-8*i))
+		b[8+i] = byte(lo >> uint(56-8*i))
+	}
+	return netip.AddrFrom16(b)
+}
+
+func be64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}

@@ -1,0 +1,224 @@
+// Package metrics provides the measurement plumbing of the benchmark
+// harness: time series, summary statistics and table rendering for the
+// figures the experiments regenerate.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is a time series of (t, value) samples.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// At returns the value at the sample with the greatest time <= t, or 0
+// before the first sample.
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.T, t)
+	if i < len(s.T) && s.T[i] == t {
+		return s.V[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.V[i-1]
+}
+
+// Window returns the values with t in [from, to).
+func (s *Series) Window(from, to float64) []float64 {
+	var out []float64
+	for i, t := range s.T {
+		if t >= from && t < to {
+			out = append(out, s.V[i])
+		}
+	}
+	return out
+}
+
+// Summary describes a sample set.
+type Summary struct {
+	N            int
+	Min, Max     float64
+	Mean, Median float64
+	P10, P90     float64
+	Stddev       float64
+}
+
+// Summarize computes summary statistics of vs. An empty input yields a
+// zero Summary.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	var sum, sq float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	for _, v := range sorted {
+		sq += (v - mean) * (v - mean)
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Median: percentile(sorted, 0.5),
+		P10:    percentile(sorted, 0.10),
+		P90:    percentile(sorted, 0.90),
+		Stddev: math.Sqrt(sq / float64(len(sorted))),
+	}
+}
+
+// percentile interpolates the p-quantile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CSV renders aligned series as comma-separated columns with a header:
+// t,name1,name2,... The series must share their time points (as the
+// simulator guarantees); shorter series pad with empty cells.
+func CSV(series ...*Series) string {
+	var b strings.Builder
+	b.WriteString("t")
+	for _, s := range series {
+		b.WriteString(",")
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	n := 0
+	for _, s := range series {
+		if s.Len() > n {
+			n = s.Len()
+		}
+	}
+	for i := 0; i < n; i++ {
+		wrote := false
+		for _, s := range series {
+			if i < s.Len() {
+				if !wrote {
+					fmt.Fprintf(&b, "%g", s.T[i])
+					wrote = true
+				}
+				break
+			}
+		}
+		for _, s := range series {
+			if i < s.Len() {
+				fmt.Fprintf(&b, ",%g", s.V[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned text table with a header, the format
+// cmd/figures prints.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells (stringified with %v).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Gnuplot renders series as a gnuplot-ready data block (index-separated),
+// so the figures can be plotted exactly like the paper's Fig. 3.
+func Gnuplot(series ...*Series) string {
+	var b strings.Builder
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("\n\n")
+		}
+		fmt.Fprintf(&b, "# %s\n", s.Name)
+		for i := range s.T {
+			fmt.Fprintf(&b, "%g %g\n", s.T[i], s.V[i])
+		}
+	}
+	return b.String()
+}

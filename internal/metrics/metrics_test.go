@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesAddAt(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	s.Add(10, 2)
+	s.Add(20, 3)
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 1}, {5, 1}, {10, 2}, {19, 2}, {20, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	w := s.Window(3, 6)
+	if len(w) != 3 || w[0] != 9 || w[2] != 25 {
+		t.Errorf("Window = %v", w)
+	}
+	if got := s.Window(100, 200); got != nil {
+		t.Errorf("empty window = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Errorf("summary: %+v", s)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Errorf("empty summary: %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.Median != 7 || one.P90 != 7 || one.Stddev != 0 {
+		t.Errorf("singleton summary: %+v", one)
+	}
+}
+
+// Property: Min <= P10 <= Median <= P90 <= Max, and Mean within [Min,Max].
+func TestSummaryOrdering(t *testing.T) {
+	prop := func(vs []float64) bool {
+		clean := vs[:0]
+		for _, v := range vs {
+			// Constrain to magnitudes whose sums cannot overflow; the
+			// harness only ever summarises throughputs and mask counts.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P10 && s.P10 <= s.Median && s.Median <= s.P90 &&
+			s.P90 <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := &Series{Name: "thru"}
+	b := &Series{Name: "masks"}
+	a.Add(0, 1.5)
+	a.Add(1, 2.5)
+	b.Add(0, 8)
+	b.Add(1, 512)
+	got := CSV(a, b)
+	want := "t,thru,masks\n0,1.5,8\n1,2.5,512\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVUnevenSeries(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	a.Add(0, 1)
+	a.Add(1, 2)
+	b.Add(0, 9)
+	got := CSV(a, b)
+	if !strings.Contains(got, "1,2,\n") {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := &Table{Header: []string{"masks", "gbps"}}
+	tbl.AddRow(8, 0.94)
+	tbl.AddRow(8192, 0.01)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "masks") || !strings.Contains(lines[2], "0.940") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestTableIntegerFloats(t *testing.T) {
+	tbl := &Table{Header: []string{"n"}}
+	tbl.AddRow(512.0)
+	if !strings.Contains(tbl.String(), "512") || strings.Contains(tbl.String(), "512.000") {
+		t.Errorf("integer float rendered badly:\n%s", tbl.String())
+	}
+}
+
+func TestGnuplot(t *testing.T) {
+	a := &Series{Name: "victim"}
+	a.Add(0, 0.9)
+	b := &Series{Name: "masks"}
+	b.Add(0, 8)
+	out := Gnuplot(a, b)
+	if !strings.Contains(out, "# victim") || !strings.Contains(out, "\n\n# masks") {
+		t.Errorf("gnuplot:\n%s", out)
+	}
+}

@@ -1,0 +1,244 @@
+package pkt
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Spec describes a frame to build. Zero values are sensible: omitting MACs
+// produces locally-administered placeholder addresses, omitting TTL uses
+// 64, and PayloadLen pads with zero bytes. FrameLen, when non-zero, pads
+// the final frame (including headers) up to the given total length, the
+// knob the traffic generators use for MTU-sized vs minimum-sized packets.
+type Spec struct {
+	SrcMAC, DstMAC MAC
+	VLAN           uint16 // 802.1Q TCI; 0 means untagged
+
+	Src, Dst netip.Addr // both IPv4 or both IPv6
+	Proto    uint8      // ProtoTCP, ProtoUDP, ProtoICMP, ProtoICMPv6
+	TOS      uint8
+	TTL      uint8 // default 64
+
+	SrcPort, DstPort uint16 // TCP/UDP ports, or ICMP type/code
+	TCPFlags         uint8  // default SYN for TCP
+	Seq              uint32 // TCP sequence number
+
+	PayloadLen int
+	FrameLen   int // total frame length to pad to (0 = minimal)
+	Payload    []byte
+}
+
+var defaultSrcMAC = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+var defaultDstMAC = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+
+// Build constructs the frame described by s, with correct length fields and
+// checksums.
+func Build(s Spec) ([]byte, error) {
+	if !s.Src.IsValid() || !s.Dst.IsValid() {
+		return nil, fmt.Errorf("pkt: spec needs both src and dst IP")
+	}
+	v4 := s.Src.Unmap().Is4()
+	if v4 != s.Dst.Unmap().Is4() {
+		return nil, fmt.Errorf("pkt: src/dst address family mismatch")
+	}
+
+	payload := s.Payload
+	if payload == nil && s.PayloadLen > 0 {
+		payload = make([]byte, s.PayloadLen)
+	}
+
+	var l4 []byte
+	switch s.Proto {
+	case ProtoTCP:
+		l4 = buildTCP(s, payload)
+	case ProtoUDP:
+		l4 = buildUDP(s, payload)
+	case ProtoICMP, ProtoICMPv6:
+		l4 = buildICMP(s, payload)
+	default:
+		return nil, fmt.Errorf("%w: proto %d", ErrUnsupported, s.Proto)
+	}
+
+	var l3 []byte
+	if v4 {
+		l3 = buildIPv4(s, l4)
+	} else {
+		l3 = buildIPv6(s, l4)
+	}
+	// L4 checksum needs the pseudo-header, hence after L3 assembly.
+	finishL4Checksum(s, v4, l3)
+
+	frame := buildEth(s, v4, l3)
+	if s.FrameLen > len(frame) {
+		padded := make([]byte, s.FrameLen)
+		copy(padded, frame)
+		frame = padded
+	}
+	return frame, nil
+}
+
+// MustBuild is Build for tests and generators with known-good specs.
+func MustBuild(s Spec) []byte {
+	f, err := Build(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func buildEth(s Spec, v4 bool, l3 []byte) []byte {
+	ethType := uint16(EtherTypeIPv6)
+	if v4 {
+		ethType = EtherTypeIPv4
+	}
+	src, dst := s.SrcMAC, s.DstMAC
+	if src == (MAC{}) {
+		src = defaultSrcMAC
+	}
+	if dst == (MAC{}) {
+		dst = defaultDstMAC
+	}
+	hlen := EthHeaderLen
+	if s.VLAN != 0 {
+		hlen += VLANTagLen
+	}
+	frame := make([]byte, hlen+len(l3))
+	copy(frame[0:6], dst[:])
+	copy(frame[6:12], src[:])
+	if s.VLAN != 0 {
+		put16(frame[12:14], EtherTypeVLAN)
+		put16(frame[14:16], s.VLAN)
+		put16(frame[16:18], ethType)
+	} else {
+		put16(frame[12:14], ethType)
+	}
+	copy(frame[hlen:], l3)
+	return frame
+}
+
+func buildIPv4(s Spec, l4 []byte) []byte {
+	b := make([]byte, IPv4HeaderLen+len(l4))
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = s.TOS
+	put16(b[2:4], uint16(len(b)))
+	b[8] = s.TTL
+	if b[8] == 0 {
+		b[8] = 64
+	}
+	b[9] = s.Proto
+	src, dst := s.Src.Unmap().As4(), s.Dst.Unmap().As4()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	put16(b[10:12], Checksum(b[:IPv4HeaderLen]))
+	copy(b[IPv4HeaderLen:], l4)
+	return b
+}
+
+func buildIPv6(s Spec, l4 []byte) []byte {
+	b := make([]byte, IPv6HeaderLen+len(l4))
+	b[0] = 0x60 | s.TOS>>4
+	b[1] = s.TOS << 4
+	put16(b[4:6], uint16(len(l4)))
+	b[6] = s.Proto
+	b[7] = s.TTL
+	if b[7] == 0 {
+		b[7] = 64
+	}
+	src, dst := s.Src.As16(), s.Dst.As16()
+	copy(b[8:24], src[:])
+	copy(b[24:40], dst[:])
+	copy(b[IPv6HeaderLen:], l4)
+	return b
+}
+
+func buildTCP(s Spec, payload []byte) []byte {
+	b := make([]byte, TCPHeaderLen+len(payload))
+	put16(b[0:2], s.SrcPort)
+	put16(b[2:4], s.DstPort)
+	put32(b[4:8], s.Seq)
+	b[12] = 5 << 4 // data offset: 5 words
+	flags := s.TCPFlags
+	if flags == 0 {
+		flags = TCPSyn
+	}
+	b[13] = flags
+	put16(b[14:16], 65535) // window
+	copy(b[TCPHeaderLen:], payload)
+	return b
+}
+
+func buildUDP(s Spec, payload []byte) []byte {
+	b := make([]byte, UDPHeaderLen+len(payload))
+	put16(b[0:2], s.SrcPort)
+	put16(b[2:4], s.DstPort)
+	put16(b[4:6], uint16(len(b)))
+	copy(b[UDPHeaderLen:], payload)
+	return b
+}
+
+func buildICMP(s Spec, payload []byte) []byte {
+	b := make([]byte, ICMPHeaderLen+len(payload))
+	b[0] = byte(s.SrcPort) // type
+	b[1] = byte(s.DstPort) // code
+	copy(b[ICMPHeaderLen:], payload)
+	return b
+}
+
+// finishL4Checksum fills the transport checksum in an assembled L3 packet.
+func finishL4Checksum(s Spec, v4 bool, l3 []byte) {
+	var l4 []byte
+	var srcB, dstB []byte
+	if v4 {
+		l4 = l3[IPv4HeaderLen:]
+		srcB, dstB = l3[12:16], l3[16:20]
+	} else {
+		l4 = l3[IPv6HeaderLen:]
+		srcB, dstB = l3[8:24], l3[24:40]
+	}
+	switch s.Proto {
+	case ProtoTCP:
+		put16(l4[16:18], 0)
+		put16(l4[16:18], PseudoChecksum(srcB, dstB, s.Proto, l4))
+	case ProtoUDP:
+		put16(l4[6:8], 0)
+		ck := PseudoChecksum(srcB, dstB, s.Proto, l4)
+		if ck == 0 {
+			ck = 0xffff // RFC 768: transmitted zero means "no checksum"
+		}
+		put16(l4[6:8], ck)
+	case ProtoICMP:
+		put16(l4[2:4], 0)
+		put16(l4[2:4], Checksum(l4))
+	case ProtoICMPv6:
+		put16(l4[2:4], 0)
+		put16(l4[2:4], PseudoChecksum(srcB, dstB, s.Proto, l4))
+	}
+}
+
+// BuildARP constructs an ARP request/reply frame (op 1 or 2).
+func BuildARP(op uint16, srcMAC MAC, srcIP, dstIP netip.Addr, dstMAC MAC) []byte {
+	b := make([]byte, EthHeaderLen+ARPLen)
+	bcast := MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	target := dstMAC
+	if op == 1 {
+		target = MAC{}
+	}
+	ethDst := dstMAC
+	if op == 1 {
+		ethDst = bcast
+	}
+	copy(b[0:6], ethDst[:])
+	copy(b[6:12], srcMAC[:])
+	put16(b[12:14], EtherTypeARP)
+	a := b[EthHeaderLen:]
+	put16(a[0:2], 1)      // htype ethernet
+	put16(a[2:4], 0x0800) // ptype IPv4
+	a[4], a[5] = 6, 4
+	put16(a[6:8], op)
+	copy(a[8:14], srcMAC[:])
+	sip, dip := srcIP.Unmap().As4(), dstIP.Unmap().As4()
+	copy(a[14:18], sip[:])
+	copy(a[18:24], target[:])
+	copy(a[24:28], dip[:])
+	return b
+}

@@ -1,0 +1,147 @@
+package pkt
+
+import (
+	"fmt"
+
+	"policyinject/internal/flow"
+)
+
+// Extract parses frame into the canonical flow key for a packet received on
+// inPort. It performs no heap allocation: all state lives in the returned
+// Key. Unknown EtherTypes and IP protocols still produce a Key carrying the
+// L2/L3 fields that were understood; the error (wrapping ErrUnsupported)
+// tells the caller the L4 fields are absent, mirroring how OVS classifies
+// packets it cannot fully parse.
+func Extract(frame []byte, inPort uint32) (flow.Key, error) {
+	var k flow.Key
+	k.Set(flow.FieldInPort, uint64(inPort))
+
+	if len(frame) < EthHeaderLen {
+		return k, fmt.Errorf("%w: %d bytes of %d-byte Ethernet header", ErrTruncated, len(frame), EthHeaderLen)
+	}
+	k.Set(flow.FieldEthDst, mac48(frame[0:6]))
+	k.Set(flow.FieldEthSrc, mac48(frame[6:12]))
+	etherType := be16(frame[12:14])
+	off := EthHeaderLen
+
+	if etherType == EtherTypeVLAN {
+		if len(frame) < off+VLANTagLen {
+			return k, fmt.Errorf("%w: VLAN tag", ErrTruncated)
+		}
+		k.Set(flow.FieldVLANTCI, uint64(be16(frame[off:off+2])))
+		etherType = be16(frame[off+2 : off+4])
+		off += VLANTagLen
+	}
+	k.Set(flow.FieldEthType, uint64(etherType))
+
+	switch etherType {
+	case EtherTypeIPv4:
+		return extractIPv4(frame[off:], k)
+	case EtherTypeIPv6:
+		return extractIPv6(frame[off:], k)
+	case EtherTypeARP:
+		return extractARP(frame[off:], k)
+	default:
+		return k, fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, etherType)
+	}
+}
+
+func extractARP(b []byte, k flow.Key) (flow.Key, error) {
+	if len(b) < ARPLen {
+		return k, fmt.Errorf("%w: ARP", ErrTruncated)
+	}
+	k.Set(flow.FieldARPOp, uint64(be16(b[6:8])))
+	// ARP SPA/TPA ride in the IPv4 address fields, as in the OVS flow key.
+	k.Set(flow.FieldIPSrc, uint64(be32(b[14:18])))
+	k.Set(flow.FieldIPDst, uint64(be32(b[24:28])))
+	return k, nil
+}
+
+func extractIPv4(b []byte, k flow.Key) (flow.Key, error) {
+	if len(b) < IPv4HeaderLen {
+		return k, fmt.Errorf("%w: IPv4 header", ErrTruncated)
+	}
+	if v := b[0] >> 4; v != 4 {
+		return k, fmt.Errorf("%w: version %d in IPv4 packet", ErrBadVersion, v)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return k, fmt.Errorf("%w: IHL %d", ErrBadIHL, ihl)
+	}
+	k.Set(flow.FieldIPTOS, uint64(b[1]))
+	proto := b[9]
+	k.Set(flow.FieldIPProto, uint64(proto))
+	k.Set(flow.FieldIPSrc, uint64(be32(b[12:16])))
+	k.Set(flow.FieldIPDst, uint64(be32(b[16:20])))
+
+	fragOff := be16(b[6:8]) & 0x1fff
+	moreFrag := b[6]&0x20 != 0
+	if fragOff != 0 {
+		// Later fragment: no L4 header present. Flag it and stop, as the
+		// OVS flow key does with its "later fragment" bit.
+		k.Set(flow.FieldIPFrag, 2)
+		return k, nil
+	}
+	if moreFrag {
+		k.Set(flow.FieldIPFrag, 1)
+	}
+	return extractL4(b[ihl:], proto, k)
+}
+
+func extractIPv6(b []byte, k flow.Key) (flow.Key, error) {
+	if len(b) < IPv6HeaderLen {
+		return k, fmt.Errorf("%w: IPv6 header", ErrTruncated)
+	}
+	if v := b[0] >> 4; v != 6 {
+		return k, fmt.Errorf("%w: version %d in IPv6 packet", ErrBadVersion, v)
+	}
+	k.Set(flow.FieldIPTOS, uint64(b[0]&0x0f)<<4|uint64(b[1]>>4))
+	proto := b[6] // next header; extension chains are not walked
+	k.Set(flow.FieldIPProto, uint64(proto))
+	k.Set(flow.FieldIPv6SrcHi, be64bytes(b[8:16]))
+	k.Set(flow.FieldIPv6SrcLo, be64bytes(b[16:24]))
+	k.Set(flow.FieldIPv6DstHi, be64bytes(b[24:32]))
+	k.Set(flow.FieldIPv6DstLo, be64bytes(b[32:40]))
+	return extractL4(b[IPv6HeaderLen:], proto, k)
+}
+
+func extractL4(b []byte, proto byte, k flow.Key) (flow.Key, error) {
+	switch proto {
+	case ProtoTCP:
+		if len(b) < TCPHeaderLen {
+			return k, fmt.Errorf("%w: TCP header", ErrTruncated)
+		}
+		k.Set(flow.FieldTPSrc, uint64(be16(b[0:2])))
+		k.Set(flow.FieldTPDst, uint64(be16(b[2:4])))
+		k.Set(flow.FieldTCPFlags, uint64(b[13]))
+		return k, nil
+	case ProtoUDP:
+		if len(b) < UDPHeaderLen {
+			return k, fmt.Errorf("%w: UDP header", ErrTruncated)
+		}
+		k.Set(flow.FieldTPSrc, uint64(be16(b[0:2])))
+		k.Set(flow.FieldTPDst, uint64(be16(b[2:4])))
+		return k, nil
+	case ProtoICMP, ProtoICMPv6:
+		if len(b) < 4 {
+			return k, fmt.Errorf("%w: ICMP header", ErrTruncated)
+		}
+		k.Set(flow.FieldICMPType, uint64(b[0]))
+		k.Set(flow.FieldICMPCode, uint64(b[1]))
+		return k, nil
+	default:
+		return k, fmt.Errorf("%w: ip proto %d", ErrUnsupported, proto)
+	}
+}
+
+func mac48(b []byte) uint64 {
+	_ = b[5]
+	return uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 |
+		uint64(b[3])<<16 | uint64(b[4])<<8 | uint64(b[5])
+}
+
+func be64bytes(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}

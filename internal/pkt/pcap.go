@@ -1,0 +1,99 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Minimal libpcap file support (stdlib only): enough to export the covert
+// stream for external replay tools and to feed captures back through the
+// dataplane. Classic format, microsecond resolution, LINKTYPE_ETHERNET.
+
+const (
+	pcapMagicLE   = 0xa1b2c3d4
+	pcapMagicBE   = 0xd4c3b2a1
+	pcapVersion   = 0x0002_0004 // major 2, minor 4
+	pcapSnapLen   = 65535
+	pcapLinkEther = 1
+)
+
+// WritePcap writes frames as a pcap capture. Timestamps are synthetic and
+// deterministic: frame i is stamped i*spacingMicros microseconds from
+// epoch, matching the paced covert stream (use the attack plan's PPS to
+// pick the spacing).
+func WritePcap(w io.Writer, frames [][]byte, spacingMicros uint32) error {
+	hdr := make([]byte, 24)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:4], pcapMagicLE)
+	le.PutUint16(hdr[4:6], 2)
+	le.PutUint16(hdr[6:8], 4)
+	// thiszone, sigfigs left zero.
+	le.PutUint32(hdr[16:20], pcapSnapLen)
+	le.PutUint32(hdr[20:24], pcapLinkEther)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("pkt: pcap header: %w", err)
+	}
+	rec := make([]byte, 16)
+	var micros uint64
+	for i, f := range frames {
+		if len(f) > pcapSnapLen {
+			return fmt.Errorf("pkt: frame %d exceeds snap length (%d bytes)", i, len(f))
+		}
+		le.PutUint32(rec[0:4], uint32(micros/1e6))
+		le.PutUint32(rec[4:8], uint32(micros%1e6))
+		le.PutUint32(rec[8:12], uint32(len(f)))
+		le.PutUint32(rec[12:16], uint32(len(f)))
+		if _, err := w.Write(rec); err != nil {
+			return fmt.Errorf("pkt: pcap record %d: %w", i, err)
+		}
+		if _, err := w.Write(f); err != nil {
+			return fmt.Errorf("pkt: pcap frame %d: %w", i, err)
+		}
+		micros += uint64(spacingMicros)
+	}
+	return nil
+}
+
+// ReadPcap parses a classic pcap capture, returning the frames. Both byte
+// orders are accepted; the link type must be Ethernet.
+func ReadPcap(r io.Reader) ([][]byte, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("pkt: pcap header: %w", err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:4]) {
+	case pcapMagicLE:
+		order = binary.LittleEndian
+	case pcapMagicBE:
+		order = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("pkt: not a pcap file (magic %#x)", binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if major := order.Uint16(hdr[4:6]); major != 2 {
+		return nil, fmt.Errorf("pkt: unsupported pcap version %d", major)
+	}
+	if link := order.Uint32(hdr[20:24]); link != pcapLinkEther {
+		return nil, fmt.Errorf("pkt: unsupported link type %d (want Ethernet)", link)
+	}
+	var frames [][]byte
+	rec := make([]byte, 16)
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			if err == io.EOF {
+				return frames, nil
+			}
+			return nil, fmt.Errorf("pkt: pcap record %d: %w", len(frames), err)
+		}
+		incl := order.Uint32(rec[8:12])
+		if incl > pcapSnapLen {
+			return nil, fmt.Errorf("pkt: pcap record %d: absurd length %d", len(frames), incl)
+		}
+		f := make([]byte, incl)
+		if _, err := io.ReadFull(r, f); err != nil {
+			return nil, fmt.Errorf("pkt: pcap record %d body: %w", len(frames), err)
+		}
+		frames = append(frames, f)
+	}
+}

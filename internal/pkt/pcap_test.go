@@ -1,0 +1,136 @@
+package pkt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"testing"
+)
+
+func someFrames(t *testing.T, n int) [][]byte {
+	t.Helper()
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = MustBuild(Spec{
+			Src:     netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+			Dst:     netip.MustParseAddr("172.16.0.2"),
+			Proto:   ProtoTCP,
+			SrcPort: uint16(1000 + i),
+			DstPort: 80,
+		})
+	}
+	return frames
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	frames := someFrames(t, 37)
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, frames, 250); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("frames = %d, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+func TestPcapEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %d frames, err %v", len(got), err)
+	}
+}
+
+func TestPcapTimestampsPaced(t *testing.T) {
+	frames := someFrames(t, 3)
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, frames, 500000); err != nil { // 2 pps
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Record 2 header sits after 24 (global) + 16 + len(frame0) + 16 + len(frame1).
+	off := 24 + 16 + len(frames[0]) + 16 + len(frames[1])
+	sec := binary.LittleEndian.Uint32(b[off : off+4])
+	usec := binary.LittleEndian.Uint32(b[off+4 : off+8])
+	if sec != 1 || usec != 0 {
+		t.Errorf("third frame at %d.%06d, want 1.000000", sec, usec)
+	}
+}
+
+func TestPcapBigEndianAccepted(t *testing.T) {
+	frames := someFrames(t, 2)
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, frames, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Byte-swap the whole header and records to fake a BE writer.
+	b := buf.Bytes()
+	be := make([]byte, len(b))
+	copy(be, b)
+	swap32 := func(off int) {
+		be[off], be[off+1], be[off+2], be[off+3] = be[off+3], be[off+2], be[off+1], be[off]
+	}
+	swap16 := func(off int) { be[off], be[off+1] = be[off+1], be[off] }
+	swap32(0)
+	swap16(4)
+	swap16(6)
+	swap32(8)
+	swap32(12)
+	swap32(16)
+	swap32(20)
+	off := 24
+	for range frames {
+		swap32(off)
+		swap32(off + 4)
+		swap32(off + 8)
+		swap32(off + 12)
+		l := int(binary.BigEndian.Uint32(be[off+8 : off+12]))
+		off += 16 + l
+	}
+	got, err := ReadPcap(bytes.NewReader(be))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[0], frames[0]) {
+		t.Fatalf("BE read: %d frames", len(got))
+	}
+}
+
+func TestPcapReadErrors(t *testing.T) {
+	// Garbage magic.
+	if _, err := ReadPcap(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Error("zero header accepted")
+	}
+	// Truncated header.
+	if _, err := ReadPcap(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Truncated record body.
+	frames := someFrames(t, 1)
+	var buf bytes.Buffer
+	WritePcap(&buf, frames, 1)
+	cut := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadPcap(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Wrong link type.
+	var buf2 bytes.Buffer
+	WritePcap(&buf2, nil, 0)
+	b := buf2.Bytes()
+	binary.LittleEndian.PutUint32(b[20:24], 101) // raw IP
+	if _, err := ReadPcap(bytes.NewReader(b)); err == nil {
+		t.Error("non-Ethernet link type accepted")
+	}
+}

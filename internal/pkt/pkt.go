@@ -1,0 +1,80 @@
+// Package pkt implements the wire formats the dataplane handles: Ethernet
+// (with 802.1Q), ARP, IPv4, IPv6, TCP, UDP and ICMP. It provides
+//
+//   - Extract: a zero-allocation decoder from a raw frame to a flow.Key,
+//     the hot-path operation of the hypervisor switch (in the spirit of
+//     gopacket's DecodingLayerParser: decode into preallocated storage,
+//     no per-packet heap traffic);
+//   - Builder: frame construction with correct lengths and checksums, used
+//     by the traffic generators and the attack's covert-stream synthesiser;
+//   - typed header views for diagnostics and tests.
+//
+// Only the fields the classifier matches on are modelled in depth;
+// payloads are opaque bytes.
+package pkt
+
+import "errors"
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+// Header sizes in bytes.
+const (
+	EthHeaderLen  = 14
+	VLANTagLen    = 4
+	ARPLen        = 28
+	IPv4HeaderLen = 20 // without options
+	IPv6HeaderLen = 40
+	TCPHeaderLen  = 20 // without options
+	UDPHeaderLen  = 8
+	ICMPHeaderLen = 8
+)
+
+// EtherTypes (host byte order).
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+	EtherTypeVLAN = 0x8100
+	EtherTypeIPv6 = 0x86dd
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP   = 1
+	ProtoTCP    = 6
+	ProtoUDP    = 17
+	ProtoICMPv6 = 58
+)
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+	TCPUrg = 1 << 5
+)
+
+// Decoding errors. Extract returns errors wrapping these sentinels so
+// callers can count malformed-frame classes separately.
+var (
+	ErrTruncated   = errors.New("pkt: truncated frame")
+	ErrBadVersion  = errors.New("pkt: IP version mismatch")
+	ErrBadIHL      = errors.New("pkt: bad IPv4 header length")
+	ErrUnsupported = errors.New("pkt: unsupported protocol")
+)
+
+func be16(b []byte) uint16 { _ = b[1]; return uint16(b[0])<<8 | uint16(b[1]) }
+func be32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+func put16(b []byte, v uint16) { _ = b[1]; b[0] = byte(v >> 8); b[1] = byte(v) }
+func put32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

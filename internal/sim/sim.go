@@ -1,0 +1,80 @@
+// Package sim is the experiment engine: it drives a dataplane with the
+// victim and attacker workloads on a deterministic tick clock, measures
+// real per-packet processing cost of the actual Go implementation, and
+// converts cost into achievable throughput.
+//
+// Methodology (see EXPERIMENTS.md): absolute Gbps of the paper's testbed
+// cannot be reproduced on an arbitrary host, so the simulator measures the
+// *real* cost of the real cache/classifier code and reports throughput as
+// min(offered, budget/cost) for a single forwarding core. Shape — who
+// wins, where the knee is, the relative collapse — is what the experiments
+// assert.
+package sim
+
+import (
+	"time"
+
+	"policyinject/internal/dataplane"
+	"policyinject/internal/flow"
+	"policyinject/internal/traffic"
+)
+
+// Pipeline is the surface the simulator drives; both dataplane.Switch and
+// baseline.Switch satisfy it.
+type Pipeline interface {
+	ProcessKey(now uint64, k flow.Key) dataplane.Decision
+}
+
+// MeasureCost measures the mean per-packet processing cost of p for the
+// generator's traffic at the pipeline's current state, by timing real
+// ProcessKey calls. It adapts the sample count so the timed region is long
+// enough to dominate clock granularity. The calls mutate cache state
+// exactly as the measured traffic would — that is intentional.
+func MeasureCost(p Pipeline, gen traffic.Generator, now uint64, minSamples int) time.Duration {
+	if minSamples < 16 {
+		minSamples = 16
+	}
+	const minElapsed = 200 * time.Microsecond
+	samples := 0
+	var elapsed time.Duration
+	for elapsed < minElapsed || samples < minSamples {
+		batch := minSamples
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			p.ProcessKey(now, gen.Next())
+		}
+		elapsed += time.Since(start)
+		samples += batch
+		if samples > 1<<20 {
+			break // pathological clock; avoid spinning forever
+		}
+	}
+	return elapsed / time.Duration(samples)
+}
+
+// Throughput computes achievable packets-per-second for a per-packet cost
+// on one forwarding core, capped by the offered load.
+func Throughput(cost time.Duration, offeredPPS float64) float64 {
+	if cost <= 0 {
+		return offeredPPS
+	}
+	capacity := float64(time.Second) / float64(cost)
+	if capacity > offeredPPS {
+		return offeredPPS
+	}
+	return capacity
+}
+
+// Gbps converts packets per second at a frame size to link throughput in
+// gigabits per second (including the 20-byte Ethernet overhead of
+// preamble+IFG, so 1514-byte frames max out just under line rate, as iperf
+// reports do).
+func Gbps(pps float64, frameLen int) float64 {
+	return pps * float64(frameLen+20) * 8 / 1e9
+}
+
+// PPSFor returns the packet rate that fills the given bandwidth at a frame
+// size — the offered load for a "1 Gbps iperf stream".
+func PPSFor(gbps float64, frameLen int) float64 {
+	return gbps * 1e9 / (float64(frameLen+20) * 8)
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"policyinject/internal/cache"
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+	"policyinject/internal/metrics"
+)
+
+// SweepPoint is one row of the mask-count sweep (experiments E3/E5): the
+// measured TSS lookup cost and the throughput it permits, at a given
+// number of megaflow masks.
+type SweepPoint struct {
+	Masks        int
+	CostPerPkt   time.Duration
+	PPS          float64 // CPU-bound peak, min-size frames
+	RelativePeak float64 // fraction of the 1-mask peak
+}
+
+// SweepResult is the full sweep.
+type SweepResult struct {
+	Points []SweepPoint
+}
+
+// Table renders the sweep like the paper's summary claims.
+func (r *SweepResult) Table() *metrics.Table {
+	t := &metrics.Table{Header: []string{"masks", "ns/lookup", "peak_pps", "relative_peak"}}
+	for _, p := range r.Points {
+		t.AddRow(p.Masks, float64(p.CostPerPkt.Nanoseconds()), p.PPS, p.RelativePeak)
+	}
+	return t
+}
+
+// MeasureMFC times raw megaflow-cache lookups of key k at the cache's
+// current state.
+func MeasureMFC(mfc *cache.Megaflow, k flow.Key, minSamples int) time.Duration {
+	if minSamples < 16 {
+		minSamples = 16
+	}
+	const minElapsed = 200 * time.Microsecond
+	samples := 0
+	var elapsed time.Duration
+	for elapsed < minElapsed || samples < minSamples {
+		start := time.Now()
+		for i := 0; i < minSamples; i++ {
+			mfc.Lookup(k, 0)
+		}
+		elapsed += time.Since(start)
+		samples += minSamples
+		if samples > 1<<22 {
+			break
+		}
+	}
+	return elapsed / time.Duration(samples)
+}
+
+// RunSweep measures TSS lookup cost at each requested mask count by
+// populating a megaflow cache with synthetic attack masks (divergence
+// prefixes over ip_src+tp_dst, exactly the shapes the attack mints) and a
+// victim entry scanned last.
+func RunSweep(maskCounts []int, samples int) (*SweepResult, error) {
+	res := &SweepResult{}
+	var peak float64
+	for _, n := range maskCounts {
+		if n < 1 || n > 32*16*16 {
+			return nil, fmt.Errorf("sim: mask count %d out of range", n)
+		}
+		mfc := cache.NewMegaflow(cache.MegaflowConfig{})
+		installAttackMasks(mfc, n-1)
+		// The victim's entry: an exact 5-tuple-ish megaflow, inserted
+		// last so hits scan the whole attacker prefix.
+		// ip_dst keeps the victim's mask distinct from every attack mask
+		// (the attack never unwildcards ip_dst), so it lands in a fresh
+		// subtable appended at the end of the scan order.
+		var victim flow.Match
+		victim.Key.Set(flow.FieldIPSrc, 0xc0a80005)
+		victim.Mask.SetExact(flow.FieldIPSrc)
+		victim.Key.Set(flow.FieldIPDst, 0xac100002)
+		victim.Mask.SetExact(flow.FieldIPDst)
+		victim.Key.Set(flow.FieldTPDst, 5201)
+		victim.Mask.SetExact(flow.FieldTPDst)
+		if _, err := mfc.Insert(victim, cache.Verdict{Verdict: flowtable.Allow}, 0); err != nil {
+			return nil, err
+		}
+		var k flow.Key
+		k.Set(flow.FieldInPort, 1) // victim port != attacker port
+		k.Set(flow.FieldIPSrc, 0xc0a80005)
+		k.Set(flow.FieldIPDst, 0xac100002)
+		k.Set(flow.FieldTPDst, 5201)
+		if _, scanned, ok := mfc.Lookup(k, 0); !ok || scanned != mfc.NumMasks() {
+			return nil, fmt.Errorf("sim: victim entry at position %d of %d", scanned, mfc.NumMasks())
+		}
+
+		cost := MeasureMFC(mfc, k, samples)
+		pps := float64(time.Second) / float64(cost)
+		if len(res.Points) == 0 {
+			peak = pps
+		}
+		res.Points = append(res.Points, SweepPoint{
+			Masks:        mfc.NumMasks(),
+			CostPerPkt:   cost,
+			PPS:          pps,
+			RelativePeak: pps / peak,
+		})
+	}
+	return res, nil
+}
+
+// installAttackMasks fills mfc with n distinct attack-shaped masks:
+// divergence-prefix combinations over ip_src (32) and tp_dst (16), then
+// tp_src (16) — the same mask population the real attack mints. Every
+// mask carries the attacker port's exact in_port bits, exactly as the
+// real megaflows do (the probed per-port default-deny subtable
+// contributes them), which is what keeps attacker entries from ever
+// matching the victim's traffic.
+func installAttackMasks(mfc *cache.Megaflow, n int) {
+	const attackerPort = 66
+	count := 0
+	deny := cache.Verdict{Verdict: flowtable.Deny}
+	for d3 := 0; d3 < 16 && count < n; d3++ {
+		for d1 := 0; d1 < 32 && count < n; d1++ {
+			for d2 := 0; d2 < 16 && count < n; d2++ {
+				var m flow.Match
+				m.Key.Set(flow.FieldInPort, attackerPort)
+				m.Mask.SetExact(flow.FieldInPort)
+				m.Key.Set(flow.FieldIPSrc, uint64(0x0a000001)^(1<<uint(31-d1)))
+				m.Mask.SetPrefix(flow.FieldIPSrc, d1+1)
+				m.Key.Set(flow.FieldTPDst, uint64(80^(1<<uint(15-d2))))
+				m.Mask.SetPrefix(flow.FieldTPDst, d2+1)
+				if d3 > 0 {
+					m.Key.Set(flow.FieldTPSrc, uint64(5201^(1<<uint(15-d3))))
+					m.Mask.SetPrefix(flow.FieldTPSrc, d3+1)
+				}
+				m.Normalize()
+				if _, err := mfc.Insert(m, deny, 0); err != nil {
+					return
+				}
+				count++
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package traffic provides the deterministic workload generators of the
+// evaluation harness: the victim's iperf-like stream, benign multi-flow
+// mixes, and the attacker's paced covert-stream replayer. Generators are
+// seeded and allocation-free on the per-packet path so experiments are
+// reproducible run to run.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+
+	"policyinject/internal/flow"
+)
+
+// Generator produces the next packet of a stream as a flow key.
+type Generator interface {
+	Next() flow.Key
+}
+
+// VictimConfig describes the victim workload: an iperf-like transfer of
+// Flows parallel TCP connections from one client to one server, as in the
+// paper's testbed (Fig. 3 measures this stream's throughput).
+type VictimConfig struct {
+	Src, Dst netip.Addr
+	DstPort  uint16 // server port, default 5201 (iperf3)
+	Flows    int    // parallel connections, default 8
+	InPort   uint32 // ingress port at the hypervisor switch
+	FrameLen int    // bytes on the wire, default 1514 (MTU frame)
+}
+
+// Victim is the victim stream generator: round-robins its flows,
+// producing a stable set of Flows distinct 5-tuples.
+type Victim struct {
+	cfg  VictimConfig
+	keys []flow.Key
+	next int
+}
+
+// NewVictim builds the victim generator.
+func NewVictim(cfg VictimConfig) *Victim {
+	if cfg.DstPort == 0 {
+		cfg.DstPort = 5201
+	}
+	if cfg.Flows <= 0 {
+		cfg.Flows = 8
+	}
+	if cfg.FrameLen == 0 {
+		cfg.FrameLen = 1514
+	}
+	v := &Victim{cfg: cfg}
+	for i := 0; i < cfg.Flows; i++ {
+		v.keys = append(v.keys, flow.FiveTuple{
+			Src:     cfg.Src,
+			Dst:     cfg.Dst,
+			Proto:   uint8(flow.ProtoTCP),
+			SrcPort: uint16(49152 + i),
+			DstPort: cfg.DstPort,
+		}.Key(cfg.InPort))
+	}
+	return v
+}
+
+// Next returns the next packet's key, round-robin over the flows.
+func (v *Victim) Next() flow.Key {
+	k := v.keys[v.next]
+	v.next = (v.next + 1) % len(v.keys)
+	return k
+}
+
+// FrameLen returns the configured frame size in bytes.
+func (v *Victim) FrameLen() int { return v.cfg.FrameLen }
+
+// Flows returns the distinct keys of the stream.
+func (v *Victim) Flows() []flow.Key { return append([]flow.Key(nil), v.keys...) }
+
+// MixConfig describes a benign multi-flow mix: NFlows distinct 5-tuples
+// drawn deterministically from a subnet and port pool, visited with a
+// skewed (approximately Zipfian) popularity so a handful of flows carry
+// most packets — the traffic shape flow caches are designed for.
+type MixConfig struct {
+	Seed   uint64
+	NFlows int // default 1000
+	Subnet netip.Prefix
+	DstIP  netip.Addr
+	InPort uint32
+	Skew   float64 // 0 = uniform, 1 = heavy head; default 0.8
+}
+
+// Mix is the benign mix generator.
+type Mix struct {
+	keys []flow.Key
+	lcg  uint64
+	skew float64
+}
+
+// NewMix builds the mix.
+func NewMix(cfg MixConfig) *Mix {
+	if cfg.NFlows <= 0 {
+		cfg.NFlows = 1000
+	}
+	if cfg.Skew == 0 {
+		cfg.Skew = 0.8
+	}
+	if !cfg.Subnet.IsValid() {
+		cfg.Subnet = netip.MustParsePrefix("10.0.0.0/8")
+	}
+	if !cfg.DstIP.IsValid() {
+		cfg.DstIP = netip.MustParseAddr("172.16.0.2")
+	}
+	m := &Mix{lcg: cfg.Seed*2862933555777941757 + 3037000493, skew: cfg.Skew}
+	base := flow.V4(cfg.Subnet.Addr())
+	span := uint64(1) << uint(32-cfg.Subnet.Bits())
+	for i := 0; i < cfg.NFlows; i++ {
+		m.lcg = m.lcg*6364136223846793005 + 1442695040888963407
+		srcIP := base + m.lcg%span
+		m.lcg = m.lcg*6364136223846793005 + 1442695040888963407
+		sport := 1024 + uint16(m.lcg%60000)
+		m.keys = append(m.keys, flow.FiveTuple{
+			Src:     flow.V4Addr(srcIP),
+			Dst:     cfg.DstIP,
+			Proto:   uint8(flow.ProtoTCP),
+			SrcPort: sport,
+			DstPort: uint16(80 + i%3*363), // 80, 443, 806
+		}.Key(cfg.InPort))
+	}
+	return m
+}
+
+// Next draws the next packet with skewed flow popularity: flow index
+// floor(n^(u^(1/(1-skew)))) approximated by exponentiating a uniform draw.
+func (m *Mix) Next() flow.Key {
+	m.lcg = m.lcg*6364136223846793005 + 1442695040888963407
+	u := float64(m.lcg>>11) / (1 << 53)
+	// Skew: push the uniform draw toward 0 (the head of the key list).
+	idx := int(math.Pow(u, 1/(1-m.skew*0.999)) * float64(len(m.keys)))
+	if idx >= len(m.keys) {
+		idx = len(m.keys) - 1
+	}
+	return m.keys[idx]
+}
+
+// NFlows returns the number of distinct flows.
+func (m *Mix) NFlows() int { return len(m.keys) }
+
+// Replayer cycles through a fixed key sequence — the attacker's covert
+// stream (attack.Keys) replayed forever at low rate.
+type Replayer struct {
+	keys []flow.Key
+	next int
+}
+
+// NewReplayer builds a replayer over keys; it panics on an empty sequence.
+func NewReplayer(keys []flow.Key) *Replayer {
+	if len(keys) == 0 {
+		panic("traffic: empty replay sequence")
+	}
+	return &Replayer{keys: append([]flow.Key(nil), keys...)}
+}
+
+// Next returns the next key in cyclic order.
+func (r *Replayer) Next() flow.Key {
+	k := r.keys[r.next]
+	r.next = (r.next + 1) % len(r.keys)
+	return k
+}
+
+// Len returns the sequence length.
+func (r *Replayer) Len() int { return len(r.keys) }
+
+// Pacer converts a packets-per-second rate into integer packet counts per
+// simulation tick, accumulating fractional remainders so the long-run rate
+// is exact.
+type Pacer struct {
+	PPS   float64
+	accum float64
+}
+
+// Take returns how many packets to emit for a tick of dt seconds.
+func (p *Pacer) Take(dt float64) int {
+	if p.PPS <= 0 || dt <= 0 {
+		return 0
+	}
+	p.accum += p.PPS * dt
+	n := int(p.accum)
+	p.accum -= float64(n)
+	return n
+}
+
+// String describes the pacer.
+func (p *Pacer) String() string { return fmt.Sprintf("%.0f pps", p.PPS) }

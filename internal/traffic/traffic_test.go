@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"net/netip"
+	"testing"
+
+	"policyinject/internal/flow"
+)
+
+func TestVictimFlowSet(t *testing.T) {
+	v := NewVictim(VictimConfig{
+		Src:    netip.MustParseAddr("172.16.0.10"),
+		Dst:    netip.MustParseAddr("172.16.0.20"),
+		Flows:  8,
+		InPort: 3,
+	})
+	seen := map[flow.Key]int{}
+	for i := 0; i < 80; i++ {
+		seen[v.Next()]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("distinct flows = %d, want 8", len(seen))
+	}
+	for k, n := range seen {
+		if n != 10 {
+			t.Errorf("flow %v visited %d times, want 10 (round robin)", k, n)
+		}
+		if got := k.Get(flow.FieldTPDst); got != 5201 {
+			t.Errorf("dst port = %d, want iperf3 default", got)
+		}
+		if got := k.Get(flow.FieldInPort); got != 3 {
+			t.Errorf("in_port = %d", got)
+		}
+	}
+}
+
+func TestVictimDefaults(t *testing.T) {
+	v := NewVictim(VictimConfig{
+		Src: netip.MustParseAddr("1.1.1.1"),
+		Dst: netip.MustParseAddr("2.2.2.2"),
+	})
+	if len(v.Flows()) != 8 || v.FrameLen() != 1514 {
+		t.Errorf("defaults: flows=%d frame=%d", len(v.Flows()), v.FrameLen())
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	a := NewMix(MixConfig{Seed: 42, NFlows: 100})
+	b := NewMix(MixConfig{Seed: 42, NFlows: 100})
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at packet %d", i)
+		}
+	}
+	c := NewMix(MixConfig{Seed: 43, NFlows: 100})
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMixFlowsWithinSubnet(t *testing.T) {
+	m := NewMix(MixConfig{
+		Seed:   7,
+		NFlows: 500,
+		Subnet: netip.MustParsePrefix("10.1.0.0/16"),
+	})
+	if m.NFlows() != 500 {
+		t.Fatalf("NFlows = %d", m.NFlows())
+	}
+	for i := 0; i < 2000; i++ {
+		k := m.Next()
+		src := k.Get(flow.FieldIPSrc)
+		if src>>16 != 0x0a01 {
+			t.Fatalf("src %#x outside 10.1/16", src)
+		}
+	}
+}
+
+func TestMixSkewIsHeadHeavy(t *testing.T) {
+	m := NewMix(MixConfig{Seed: 1, NFlows: 1000, Skew: 0.9})
+	counts := map[flow.Key]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[m.Next()]++
+	}
+	// The most popular flow must carry far more than the uniform share.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < draws/100 { // uniform share would be draws/1000
+		t.Errorf("head flow carries %d of %d; skew not applied", max, draws)
+	}
+}
+
+func TestReplayerCycles(t *testing.T) {
+	keys := make([]flow.Key, 3)
+	for i := range keys {
+		keys[i].Set(flow.FieldIPSrc, uint64(i+1))
+	}
+	r := NewReplayer(keys)
+	for round := 0; round < 4; round++ {
+		for i := range keys {
+			if got := r.Next(); got != keys[i] {
+				t.Fatalf("round %d pos %d: wrong key", round, i)
+			}
+		}
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestReplayerPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty replayer did not panic")
+		}
+	}()
+	NewReplayer(nil)
+}
+
+func TestPacerLongRunRate(t *testing.T) {
+	p := &Pacer{PPS: 819.2} // the 8192-entry refresh rate over 10s
+	total := 0
+	const ticks = 1000
+	for i := 0; i < ticks; i++ {
+		total += p.Take(0.1) // 100 ms ticks
+	}
+	want := int(819.2 * 0.1 * ticks)
+	if total < want-1 || total > want+1 {
+		t.Errorf("emitted %d packets over %d ticks, want ~%d", total, ticks, want)
+	}
+}
+
+func TestPacerEdgeCases(t *testing.T) {
+	p := &Pacer{PPS: 0}
+	if p.Take(1) != 0 {
+		t.Error("zero rate emitted packets")
+	}
+	p = &Pacer{PPS: 100}
+	if p.Take(0) != 0 || p.Take(-1) != 0 {
+		t.Error("non-positive dt emitted packets")
+	}
+	// Sub-packet ticks accumulate.
+	p = &Pacer{PPS: 1}
+	got := 0
+	for i := 0; i < 10; i++ {
+		got += p.Take(0.25)
+	}
+	if got != 2 {
+		t.Errorf("accumulated %d packets over 2.5s at 1pps", got)
+	}
+}

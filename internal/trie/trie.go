@@ -1,0 +1,176 @@
+// Package trie implements the per-field binary prefix tries the slow-path
+// classifier uses for subtable skipping, modelled on the tries of Open
+// vSwitch's lib/classifier.
+//
+// The classifier keeps one Trie per prefix-tracked field, containing the
+// prefixes of every rule that matches on that field. Before hashing a
+// packet against a subtable, it asks the trie whether any stored prefix of
+// the subtable's length can match the packet. The answer comes with the
+// number of leading field bits that had to be *examined* to prove it —
+// the "divergence depth" — and exactly those bits are folded into the
+// megaflow mask.
+//
+// This is the algorithmic deficiency the policy-injection attack exploits:
+// the examined-bit count varies with the packet, one distinct depth per
+// leading-bit position, so an adversary can mint one distinct megaflow mask
+// per depth combination across fields.
+package trie
+
+import "fmt"
+
+// Trie stores bit-string prefixes of a fixed-width field, MSB first, with
+// reference counts so the same prefix may be inserted by multiple rules.
+// The zero Trie is not usable; construct with New. Trie is not safe for
+// concurrent mutation; the classifier serialises access.
+type Trie struct {
+	width int
+	root  *node
+	size  int // number of stored (refcounted) prefixes, counting multiplicity
+}
+
+type node struct {
+	child     [2]*node
+	terminals int // prefixes ending exactly here
+}
+
+// New returns an empty trie over a field of the given width in bits
+// (1..64).
+func New(width int) *Trie {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("trie: invalid field width %d", width))
+	}
+	return &Trie{width: width, root: &node{}}
+}
+
+// Width returns the field width the trie was built for.
+func (t *Trie) Width() int { return t.width }
+
+// Len returns the number of stored prefixes, counting multiplicity.
+func (t *Trie) Len() int { return t.size }
+
+// bitOf extracts bit i (0 = MSB of the field) of a right-aligned value.
+func (t *Trie) bitOf(value uint64, i int) int {
+	return int(value >> uint(t.width-1-i) & 1)
+}
+
+func (t *Trie) checkPlen(plen int) {
+	if plen < 0 || plen > t.width {
+		panic(fmt.Sprintf("trie: prefix length %d out of range [0,%d]", plen, t.width))
+	}
+}
+
+// Insert adds the plen-bit prefix of value. Bits of value below the prefix
+// are ignored. Inserting the same prefix twice increments its reference
+// count.
+func (t *Trie) Insert(value uint64, plen int) {
+	t.checkPlen(plen)
+	n := t.root
+	for i := 0; i < plen; i++ {
+		b := t.bitOf(value, i)
+		if n.child[b] == nil {
+			n.child[b] = &node{}
+		}
+		n = n.child[b]
+	}
+	n.terminals++
+	t.size++
+}
+
+// Remove drops one reference to the plen-bit prefix of value, pruning nodes
+// that become empty. It reports whether the prefix was present.
+func (t *Trie) Remove(value uint64, plen int) bool {
+	t.checkPlen(plen)
+	path := make([]*node, 0, plen+1)
+	n := t.root
+	path = append(path, n)
+	for i := 0; i < plen; i++ {
+		b := t.bitOf(value, i)
+		if n.child[b] == nil {
+			return false
+		}
+		n = n.child[b]
+		path = append(path, n)
+	}
+	if n.terminals == 0 {
+		return false
+	}
+	n.terminals--
+	t.size--
+	// Prune childless, terminal-free nodes bottom-up.
+	for i := len(path) - 1; i > 0; i-- {
+		cur := path[i]
+		if cur.terminals > 0 || cur.child[0] != nil || cur.child[1] != nil {
+			break
+		}
+		b := t.bitOf(value, i-1)
+		path[i-1].child[b] = nil
+	}
+	return true
+}
+
+// Result is the outcome of a Lookup.
+type Result struct {
+	// CanMatch reports whether some stored prefix of exactly the requested
+	// length matches the value, i.e. whether the subtable that asked may
+	// contain a matching rule and must be hash-probed.
+	CanMatch bool
+	// CheckBits is the number of leading bits of the value that were
+	// examined to decide CanMatch. The classifier must reveal (unwildcard)
+	// exactly these bits in the megaflow it synthesises: a packet agreeing
+	// with the lookup value on CheckBits leading bits would have taken the
+	// same trie path and received the same answer.
+	CheckBits int
+}
+
+// Lookup asks whether a stored prefix of length plen matches value,
+// reporting how many leading bits of value were examined.
+//
+// The walk follows value's bits from the root. If it reaches depth plen, a
+// terminal there answers CanMatch=true with plen bits examined. If the walk
+// falls off the trie at depth d < plen, no stored prefix of length >= d+1
+// agrees with value, so CanMatch=false after examining d+1 bits — the
+// divergence depth the attack manipulates.
+func (t *Trie) Lookup(value uint64, plen int) Result {
+	t.checkPlen(plen)
+	n := t.root
+	for i := 0; i < plen; i++ {
+		b := t.bitOf(value, i)
+		next := n.child[b]
+		if next == nil {
+			return Result{CanMatch: false, CheckBits: i + 1}
+		}
+		n = next
+	}
+	return Result{CanMatch: n.terminals > 0, CheckBits: plen}
+}
+
+// Prefixes returns all stored prefixes as (value, plen, count) triples in
+// lexicographic order, for diagnostics and tests.
+func (t *Trie) Prefixes() []Prefix {
+	var out []Prefix
+	var walk func(n *node, value uint64, depth int)
+	walk = func(n *node, value uint64, depth int) {
+		if n.terminals > 0 {
+			out = append(out, Prefix{Value: value << uint(t.width-depth), Len: depth, Count: n.terminals})
+		}
+		for b := 0; b < 2; b++ {
+			if c := n.child[b]; c != nil {
+				walk(c, value<<1|uint64(b), depth+1)
+			}
+		}
+	}
+	walk(t.root, 0, 0)
+	return out
+}
+
+// Prefix is one stored prefix: the top Len bits of Value (right-padded with
+// zeros to the field width) with reference count Count.
+type Prefix struct {
+	Value uint64
+	Len   int
+	Count int
+}
+
+func (p Prefix) String() string {
+	return fmt.Sprintf("%#x/%d(x%d)", p.Value, p.Len, p.Count)
+}

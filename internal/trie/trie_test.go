@@ -1,0 +1,310 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookupExact(t *testing.T) {
+	tr := New(8)
+	tr.Insert(0x0a, 8) // 00001010 — the paper's first-octet example
+
+	r := tr.Lookup(0x0a, 8)
+	if !r.CanMatch || r.CheckBits != 8 {
+		t.Fatalf("exact value: %+v", r)
+	}
+}
+
+// TestFig2bDivergenceDepths verifies the exact divergence behaviour behind
+// paper Fig. 2b: with the single stored prefix 00001010/8, a probe value
+// diverging first at bit position i (0-based) must be rejected after
+// examining exactly i+1 bits.
+func TestFig2bDivergenceDepths(t *testing.T) {
+	tr := New(8)
+	tr.Insert(0x0a, 8) // 00001010
+
+	cases := []struct {
+		value     uint64
+		wantBits  int
+		wantMatch bool
+	}{
+		{0x80, 1, false}, // 1******* diverges at bit 0
+		{0x40, 2, false}, // 01******
+		{0x20, 3, false}, // 001*****
+		{0x10, 4, false}, // 0001****
+		{0x00, 5, false}, // 00000*** (allow value has 1 at bit 4)
+		{0x0c, 6, false}, // 000011**
+		{0x08, 7, false}, // 0000100*
+		{0x0b, 8, false}, // 00001011 — full examination, still a miss
+		{0x0a, 8, true},  // the allow value itself
+	}
+	for _, c := range cases {
+		r := tr.Lookup(c.value, 8)
+		if r.CanMatch != c.wantMatch || r.CheckBits != c.wantBits {
+			t.Errorf("Lookup(%#08b): got %+v, want CanMatch=%v CheckBits=%d",
+				c.value, r, c.wantMatch, c.wantBits)
+		}
+	}
+}
+
+func TestLookupShorterPlen(t *testing.T) {
+	tr := New(32)
+	tr.Insert(0x0a000000, 8) // 10.0.0.0/8
+	// A /8 query for any 10.x address matches after 8 bits.
+	r := tr.Lookup(0x0a636363, 8)
+	if !r.CanMatch || r.CheckBits != 8 {
+		t.Fatalf("10.99.99.99 vs 10/8: %+v", r)
+	}
+	// A /16 query walks past the stored terminal and falls off at bit 8.
+	r = tr.Lookup(0x0a636363, 16)
+	if r.CanMatch || r.CheckBits != 9 {
+		t.Fatalf("/16 query over /8 store: %+v", r)
+	}
+}
+
+func TestLookupPlenZero(t *testing.T) {
+	tr := New(16)
+	r := tr.Lookup(0x1234, 0)
+	if r.CanMatch || r.CheckBits != 0 {
+		t.Fatalf("empty trie, plen 0: %+v", r)
+	}
+	tr.Insert(0, 0) // catch-all prefix
+	r = tr.Lookup(0x1234, 0)
+	if !r.CanMatch || r.CheckBits != 0 {
+		t.Fatalf("catch-all prefix: %+v", r)
+	}
+}
+
+func TestRemovePrunes(t *testing.T) {
+	tr := New(32)
+	tr.Insert(0x0a000000, 8)
+	tr.Insert(0x0a010000, 16)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Remove(0x0a010000, 16) {
+		t.Fatal("Remove /16 failed")
+	}
+	// The /8 must be intact, and lookups beyond it must now diverge at 9.
+	if r := tr.Lookup(0x0a010000, 8); !r.CanMatch {
+		t.Fatal("/8 lost after removing /16")
+	}
+	if r := tr.Lookup(0x0a010000, 16); r.CanMatch || r.CheckBits != 9 {
+		t.Fatalf("pruning left stale path: %+v", r)
+	}
+	if tr.Remove(0x0a010000, 16) {
+		t.Fatal("Remove of absent prefix reported success")
+	}
+}
+
+func TestRefcounting(t *testing.T) {
+	tr := New(16)
+	tr.Insert(0xabcd, 16)
+	tr.Insert(0xabcd, 16)
+	if !tr.Remove(0xabcd, 16) {
+		t.Fatal("first remove failed")
+	}
+	if r := tr.Lookup(0xabcd, 16); !r.CanMatch {
+		t.Fatal("prefix vanished while still referenced")
+	}
+	if !tr.Remove(0xabcd, 16) {
+		t.Fatal("second remove failed")
+	}
+	if r := tr.Lookup(0xabcd, 16); r.CanMatch {
+		t.Fatal("prefix survived final remove")
+	}
+}
+
+func TestIgnoresBitsBelowPrefix(t *testing.T) {
+	tr := New(32)
+	tr.Insert(0x0affffff, 8) // junk below /8 must be ignored
+	r := tr.Lookup(0x0a000001, 8)
+	if !r.CanMatch {
+		t.Fatalf("low bits of inserted value leaked into trie: %+v", r)
+	}
+}
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", w)
+				}
+			}()
+			New(w)
+		}()
+	}
+}
+
+func TestLookupPanicsOnBadPlen(t *testing.T) {
+	tr := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lookup with plen > width did not panic")
+		}
+	}()
+	tr.Lookup(0, 9)
+}
+
+func TestPrefixesEnumeration(t *testing.T) {
+	tr := New(8)
+	tr.Insert(0x0a, 8)
+	tr.Insert(0x0a, 8)
+	tr.Insert(0x80, 1)
+	ps := tr.Prefixes()
+	if len(ps) != 2 {
+		t.Fatalf("Prefixes() = %v", ps)
+	}
+	// Lexicographic: 00001010/8 before 1/1.
+	if ps[0].Value != 0x0a || ps[0].Len != 8 || ps[0].Count != 2 {
+		t.Errorf("first prefix: %+v", ps[0])
+	}
+	if ps[1].Value != 0x80 || ps[1].Len != 1 || ps[1].Count != 1 {
+		t.Errorf("second prefix: %+v", ps[1])
+	}
+}
+
+// reference is a naive prefix store used to cross-check the trie.
+type reference struct {
+	width    int
+	prefixes []Prefix
+}
+
+func (r *reference) insert(v uint64, plen int) {
+	v = topBits(v, plen, r.width)
+	for i := range r.prefixes {
+		if r.prefixes[i].Value == v && r.prefixes[i].Len == plen {
+			r.prefixes[i].Count++
+			return
+		}
+	}
+	r.prefixes = append(r.prefixes, Prefix{Value: v, Len: plen, Count: 1})
+}
+
+func topBits(v uint64, plen, width int) uint64 {
+	if plen == 0 {
+		return 0
+	}
+	keep := ^uint64(0) << uint(width-plen)
+	if width < 64 {
+		keep &= (1 << uint(width)) - 1
+	}
+	return v & keep
+}
+
+func (r *reference) lookup(v uint64, plen int) Result {
+	// CanMatch: some stored prefix with Len == plen agrees on plen bits.
+	for _, p := range r.prefixes {
+		if p.Len == plen && topBits(v, plen, r.width) == p.Value {
+			return Result{CanMatch: true, CheckBits: plen}
+		}
+	}
+	// CheckBits: 1 + length of the longest stored-prefix path v follows,
+	// capped at plen. Equivalently the first depth d where no stored
+	// prefix agrees with v on d+1 leading bits (prefixes shorter than d+1
+	// agree only if their whole length agrees and they extend... the trie
+	// path exists wherever any stored prefix shares that many leading
+	// bits).
+	d := 0
+	for d < plen {
+		any := false
+		for _, p := range r.prefixes {
+			if p.Len >= d+1 && topBits(v, d+1, r.width) == topBits(p.Value, d+1, r.width) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return Result{CanMatch: false, CheckBits: d + 1}
+		}
+		d++
+	}
+	return Result{CanMatch: false, CheckBits: plen}
+}
+
+// TestTrieMatchesReference drives random insert/remove/lookup traffic and
+// cross-checks every lookup against the naive reference store.
+func TestTrieMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const width = 16
+	tr := New(width)
+	ref := &reference{width: width}
+
+	type stored struct {
+		v    uint64
+		plen int
+	}
+	var live []stored
+
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert
+			v := rng.Uint64() & 0xffff
+			plen := rng.Intn(width + 1)
+			tr.Insert(v, plen)
+			ref.insert(v, plen)
+			live = append(live, stored{v, plen})
+		case op < 6 && len(live) > 0: // remove
+			i := rng.Intn(len(live))
+			s := live[i]
+			if !tr.Remove(s.v, s.plen) {
+				t.Fatalf("step %d: Remove(%#x/%d) failed", step, s.v, s.plen)
+			}
+			for j := range ref.prefixes {
+				if ref.prefixes[j].Value == topBits(s.v, s.plen, width) && ref.prefixes[j].Len == s.plen {
+					ref.prefixes[j].Count--
+					if ref.prefixes[j].Count == 0 {
+						ref.prefixes = append(ref.prefixes[:j], ref.prefixes[j+1:]...)
+					}
+					break
+				}
+			}
+			live = append(live[:i], live[i+1:]...)
+		default: // lookup
+			v := rng.Uint64() & 0xffff
+			plen := rng.Intn(width + 1)
+			got := tr.Lookup(v, plen)
+			want := ref.lookup(v, plen)
+			if got != want {
+				t.Fatalf("step %d: Lookup(%#x, %d) = %+v, reference %+v\nstore: %v",
+					step, v, plen, got, want, ref.prefixes)
+			}
+		}
+	}
+}
+
+// Property: after inserting a single prefix of length L, every probe value
+// yields CheckBits in [1, L] (or [0,0] for L=0), and CheckBits == L when
+// the probe shares L-1 leading bits with the prefix.
+func TestDivergenceDepthBounds(t *testing.T) {
+	prop := func(seed uint64, plenRaw uint8) bool {
+		const width = 32
+		plen := int(plenRaw%width) + 1 // 1..32
+		tr := New(width)
+		tr.Insert(seed, plen)
+		probe := seed ^ 0xdeadbeef
+		r := tr.Lookup(probe&0xffffffff, plen)
+		return r.CheckBits >= 1 && r.CheckBits <= plen
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the attacker's lever — flipping bit d of a value that matches
+// a stored prefix produces CheckBits exactly d+1.
+func TestAttackerControlsDivergenceDepth(t *testing.T) {
+	const width = 32
+	tr := New(width)
+	base := uint64(0x0a141e28) // arbitrary allow value
+	tr.Insert(base, width)
+	for d := 0; d < width; d++ {
+		probe := base ^ (1 << uint(width-1-d))
+		r := tr.Lookup(probe, width)
+		if r.CanMatch || r.CheckBits != d+1 {
+			t.Fatalf("flip bit %d: %+v", d, r)
+		}
+	}
+}
