@@ -28,9 +28,9 @@ import (
 // attackSwitch builds a switch carrying the attack's compiled ACL (scoped
 // to the attacker port) plus a victim whitelist, optionally pre-loaded
 // with the covert stream.
-func attackSwitch(b *testing.B, atk *attack.Attack, cfg dataplane.Config, executed bool) *dataplane.Switch {
+func attackSwitch(b *testing.B, atk *attack.Attack, executed bool, opts ...dataplane.Option) *dataplane.Switch {
 	b.Helper()
-	sw := dataplane.New(cfg)
+	sw := dataplane.New("bench", opts...)
 	// Victim whitelist on port 1. eth_type is pinned exactly as the CMS
 	// compiler does; it keeps the victim's megaflow mask distinct from
 	// every covert mask, so the victim entry sits at the end of the scan
@@ -82,7 +82,7 @@ func victimGen() *traffic.Victim {
 	})
 }
 
-var noEMC = dataplane.Config{EMC: cache.EMCConfig{Entries: -1}}
+var noEMC = dataplane.WithoutEMC()
 
 // BenchmarkFig2bSlowPath — E1 (paper Fig. 2b): slow-path classification +
 // megaflow synthesis for the single-field ACL, one probe per divergence
@@ -123,7 +123,7 @@ func BenchmarkMaskInjection(b *testing.B) {
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			atk := c.atk()
-			sw := attackSwitch(b, atk, noEMC, false)
+			sw := attackSwitch(b, atk, false, noEMC)
 			keys, _ := atk.Keys()
 			for j := range keys {
 				keys[j].Set(flow.FieldInPort, 66)
@@ -148,7 +148,7 @@ func BenchmarkTSSLookupMasks(b *testing.B) {
 	}
 	for _, masks := range []int{1, 8, 64, 512, 2048, 8192} {
 		b.Run(fmt.Sprintf("masks=%d", masks), func(b *testing.B) {
-			sw := attackSwitch(b, atk, noEMC, false)
+			sw := attackSwitch(b, atk, false, noEMC)
 			for i := 0; i < masks-1 && i < len(keys); i++ {
 				k := keys[i]
 				k.Set(flow.FieldInPort, 66)
@@ -175,7 +175,7 @@ func BenchmarkFig3VictimPath(b *testing.B) {
 			name = "under-attack"
 		}
 		b.Run(name, func(b *testing.B) {
-			sw := attackSwitch(b, attack.ThreeField(), noEMC, attacked)
+			sw := attackSwitch(b, attack.ThreeField(), attacked, noEMC)
 			gen := victimGen()
 			sw.ProcessKey(1, gen.Next())
 			b.ResetTimer()
@@ -224,10 +224,10 @@ func BenchmarkBaselineUnderAttack(b *testing.B) {
 func BenchmarkEMCEffect(b *testing.B) {
 	configs := []struct {
 		name string
-		cfg  dataplane.Config
+		opts []dataplane.Option
 	}{
-		{"emc", dataplane.Config{}},
-		{"no-emc", noEMC},
+		{"emc", nil},
+		{"no-emc", []dataplane.Option{noEMC}},
 	}
 	for _, c := range configs {
 		for _, attacked := range []bool{false, true} {
@@ -236,7 +236,7 @@ func BenchmarkEMCEffect(b *testing.B) {
 				name = c.name + "/under-attack"
 			}
 			b.Run(name, func(b *testing.B) {
-				sw := attackSwitch(b, attack.TwoField(), c.cfg, attacked)
+				sw := attackSwitch(b, attack.TwoField(), attacked, c.opts...)
 				gen := victimGen()
 				sw.ProcessKey(1, gen.Next())
 				b.ResetTimer()
@@ -252,11 +252,9 @@ func BenchmarkEMCEffect(b *testing.B) {
 // for an established flow (rescued) — compare against
 // BenchmarkFig3VictimPath/under-attack to see the gap churn pays.
 func BenchmarkSortedTSS(b *testing.B) {
-	cfg := dataplane.Config{
-		EMC:      cache.EMCConfig{Entries: -1},
-		Megaflow: cache.MegaflowConfig{SortByHits: true, SortEvery: 256},
-	}
-	sw := attackSwitch(b, attack.TwoField(), cfg, true)
+	sw := attackSwitch(b, attack.TwoField(), true,
+		noEMC,
+		dataplane.WithMegaflow(cache.MegaflowConfig{SortByHits: true, SortEvery: 256}))
 	gen := victimGen()
 	for i := 0; i < 1024; i++ { // let the ordering settle
 		sw.ProcessKey(1, gen.Next())
@@ -317,7 +315,7 @@ func BenchmarkExtract(b *testing.B) {
 // BenchmarkUpcall — slow-path classification cost (classifier lookup +
 // megaflow synthesis) at ACL scale.
 func BenchmarkUpcall(b *testing.B) {
-	sw := attackSwitch(b, attack.TwoField(), noEMC, false)
+	sw := attackSwitch(b, attack.TwoField(), false, noEMC)
 	cls := sw.Classifier()
 	gen := victimGen()
 	keys := gen.Flows()
@@ -330,7 +328,7 @@ func BenchmarkUpcall(b *testing.B) {
 // BenchmarkRevalidator — maintenance cost of the idle sweep at full attack
 // population (8192 masks / entries), per paper Fig. 3's steady state.
 func BenchmarkRevalidator(b *testing.B) {
-	sw := attackSwitch(b, attack.ThreeField(), noEMC, true)
+	sw := attackSwitch(b, attack.ThreeField(), true, noEMC)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Sweep without evicting (deadline in the past keeps state).
@@ -341,7 +339,7 @@ func BenchmarkRevalidator(b *testing.B) {
 // BenchmarkEndToEndFrame — whole-pipeline frame processing (parse +
 // caches) for an established flow, the number a datapath README quotes.
 func BenchmarkEndToEndFrame(b *testing.B) {
-	sw := attackSwitch(b, attack.TwoField(), dataplane.Config{}, false)
+	sw := attackSwitch(b, attack.TwoField(), false)
 	frame := pkt.MustBuild(pkt.Spec{
 		Src: netip.MustParseAddr("10.10.0.5"), Dst: netip.MustParseAddr("172.16.0.2"),
 		Proto: pkt.ProtoTCP, SrcPort: 49152, DstPort: 5201, FrameLen: 1514,
@@ -366,11 +364,11 @@ func BenchmarkStatefulRecirc(b *testing.B) {
 			name = "stateful"
 		}
 		b.Run(name, func(b *testing.B) {
-			cfg := dataplane.Config{EMC: cache.EMCConfig{Entries: -1}}
+			opts := []dataplane.Option{noEMC}
 			if stateful {
-				cfg.Conntrack = &conntrack.Config{}
+				opts = append(opts, dataplane.WithConntrack(conntrack.Config{}))
 			}
-			sw := dataplane.New(cfg)
+			sw := dataplane.New("bench", opts...)
 			group := &acl.ACL{Stateful: stateful}
 			group.Allow(acl.Entry{Src: netip.MustParsePrefix("10.0.0.0/8")})
 			rules, err := group.Compile()
@@ -393,6 +391,106 @@ func BenchmarkStatefulRecirc(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sw.ProcessKey(3, fwd)
+			}
+		})
+	}
+}
+
+// BenchmarkProcessBatch — the batch API contract: driving the pipeline
+// with ProcessBatch must cost no more per packet than the equivalent
+// ProcessKey loop. Each iteration processes one 256-key burst of victim
+// traffic (warm caches), so ns/op is directly comparable between the two
+// sub-benchmarks.
+func BenchmarkProcessBatch(b *testing.B) {
+	burst := func(b *testing.B) []flow.Key {
+		b.Helper()
+		gen := victimGen()
+		keys := make([]flow.Key, 256)
+		for i := range keys {
+			keys[i] = gen.Next()
+		}
+		return keys
+	}
+	b.Run("sequential", func(b *testing.B) {
+		sw := attackSwitch(b, attack.TwoField(), false)
+		keys := burst(b)
+		out := make([]dataplane.Decision, len(keys))
+		for _, k := range keys {
+			sw.ProcessKey(1, k) // warm
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, k := range keys {
+				out[j] = sw.ProcessKey(2, k)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		sw := attackSwitch(b, attack.TwoField(), false)
+		keys := burst(b)
+		out := sw.ProcessBatch(1, keys, nil) // warm
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = sw.ProcessBatch(2, keys, out)
+		}
+	})
+	b.Run("pmd-batch", func(b *testing.B) {
+		pool := dataplane.NewPMDPool(4, "bench")
+		var vm flow.Match
+		vm.Key.Set(flow.FieldInPort, 1)
+		vm.Mask.SetExact(flow.FieldInPort)
+		pool.InstallRule(flowtable.Rule{Match: vm, Priority: 10, Action: flowtable.Action{Verdict: flowtable.Allow}})
+		pool.InstallRule(flowtable.Rule{Priority: 0})
+		keys := burst(b)
+		out := pool.ProcessBatch(1, keys, nil) // warm
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = pool.ProcessBatch(2, keys, out)
+		}
+	})
+}
+
+// BenchmarkHierarchies — the tier-composition payoff: victim per-packet
+// cost under the resident 512-mask attack, for each cache hierarchy the
+// options can assemble. The attack floods 8192 distinct covert keys per
+// iteration block, which thrashes the 8192-entry EMC but cannot dent the
+// ~1M-entry SMC — so SMC-bearing hierarchies keep the victim's warm flows
+// off the mask scan even mid-flood, a mask-scan economics the paper's
+// OVS 2.6 target did not have.
+func BenchmarkHierarchies(b *testing.B) {
+	hierarchies := []struct {
+		name string
+		opts []dataplane.Option
+	}{
+		{"emc-only", nil},
+		{"emc+smc", []dataplane.Option{dataplane.WithSMC(cache.SMCConfig{})}},
+		{"smc-only", []dataplane.Option{noEMC, dataplane.WithSMC(cache.SMCConfig{})}},
+		{"tss-only", []dataplane.Option{noEMC}},
+	}
+	for _, h := range hierarchies {
+		b.Run(h.name, func(b *testing.B) {
+			atk := attack.TwoField()
+			sw := attackSwitch(b, atk, true, h.opts...)
+			covert, err := atk.Keys()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range covert {
+				covert[i].Set(flow.FieldInPort, 66)
+			}
+			gen := victimGen()
+			// Warm the victim flows, then keep the covert flood cycling so
+			// EMC-style caches feel the eviction pressure they would in a
+			// live attack.
+			for i := 0; i < 512; i++ {
+				sw.ProcessKey(1, gen.Next())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%16 == 0 {
+					sw.ProcessKey(2, covert[(i/16)%len(covert)])
+				}
+				sw.ProcessKey(2, gen.Next())
 			}
 		})
 	}

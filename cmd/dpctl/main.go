@@ -37,12 +37,13 @@ func main() {
 	cmd, args := os.Args[1], os.Args[2:]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	doAttack := fs.Bool("attack", cmd == "dump-flows" || cmd == "dump-masks", "run the covert stream first")
+	smc := fs.Bool("smc", false, "enable the OVS 2.10 signature-match cache tier")
 	fields := fs.String("fields", "ip_src,tp_dst", "attack fields")
 	n := fs.Int("n", 20, "entries to display")
 	pcapPath := fs.String("pcap", "", "replay: capture file to feed")
 	fs.Parse(args)
 
-	sw, err := buildScenario(*fields, *doAttack)
+	sw, err := buildScenario(*fields, *doAttack, *smc)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,9 +83,12 @@ func fatal(err error) {
 // buildScenario assembles the paper's demo cluster: victim and attacker
 // pods sharing a hypervisor, victim policy installed, attacker policy
 // injected, and (optionally) the covert stream plus victim warm traffic.
-func buildScenario(fields string, execute bool) (*dataplane.Switch, error) {
+func buildScenario(fields string, execute, smc bool) (*dataplane.Switch, error) {
 	cluster := cms.NewCluster()
-	cluster.SwitchConfig = dataplane.Config{EMC: cache.EMCConfig{Entries: -1}}
+	cluster.SwitchOpts = []dataplane.Option{dataplane.WithoutEMC()}
+	if smc {
+		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithSMC(cache.SMCConfig{}))
+	}
 	if _, err := cluster.AddNode("server-1"); err != nil {
 		return nil, err
 	}

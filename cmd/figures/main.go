@@ -130,7 +130,7 @@ func figMasks(bool) error {
 
 // buildAttackSwitch compiles the attack's ACL into a fresh switch.
 func buildAttackSwitch(atk *attack.Attack) (*dataplane.Switch, error) {
-	sw := dataplane.New(dataplane.Config{Name: "victim-hv"})
+	sw := dataplane.New("victim-hv")
 	theACL, err := atk.BuildACL()
 	if err != nil {
 		return nil, err
@@ -188,6 +188,8 @@ func figMitigation(bool) error {
 	outcomes, err := mitigation.Evaluate(attack.TwoField(), []mitigation.Variant{
 		mitigation.Vanilla(),
 		mitigation.NoEMC(),
+		mitigation.SMC(),
+		mitigation.EMCPlusSMC(),
 		mitigation.SortedTSS(),
 		mitigation.MaskCap(64),
 		mitigation.MaskCapLRUSorted(64),

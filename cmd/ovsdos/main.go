@@ -23,7 +23,6 @@ import (
 	"time"
 
 	"policyinject/internal/attack"
-	"policyinject/internal/cache"
 	"policyinject/internal/dataplane"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
@@ -180,10 +179,7 @@ func stream(atk *attack.Attack, n int) {
 // impact. The switch models the kernel datapath (no EMC), as in the
 // paper's Kubernetes demo.
 func run(atk *attack.Attack) error {
-	sw := dataplane.New(dataplane.Config{
-		Name: "victim-hv",
-		EMC:  cache.EMCConfig{Entries: -1},
-	})
+	sw := dataplane.New("victim-hv", dataplane.WithoutEMC())
 	// The victim's own service policy (eth_type pinned as the CMS does).
 	var vm flow.Match
 	vm.Key.Set(flow.FieldEthType, flow.EthTypeIPv4)

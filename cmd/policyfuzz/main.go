@@ -24,7 +24,6 @@ import (
 
 	"policyinject/internal/acl"
 	"policyinject/internal/attack"
-	"policyinject/internal/cache"
 	"policyinject/internal/cms"
 	"policyinject/internal/dataplane"
 	"policyinject/internal/flow"
@@ -181,7 +180,7 @@ func mutate(rng *rand.Rand, base *attack.Attack, maxMasks int) *attack.Attack {
 // background that perturbs trie depths).
 func evaluate(atk *attack.Attack) int {
 	cluster := cms.NewCluster()
-	cluster.SwitchConfig = dataplane.Config{EMC: cache.EMCConfig{Entries: -1}}
+	cluster.SwitchOpts = []dataplane.Option{dataplane.WithoutEMC()}
 	if _, err := cluster.AddNode("hv"); err != nil {
 		return 0
 	}

@@ -20,6 +20,8 @@ func main() {
 	outcomes, err := mitigation.Evaluate(attack.TwoField(), []mitigation.Variant{
 		mitigation.Vanilla(),
 		mitigation.NoEMC(),
+		mitigation.SMC(),
+		mitigation.EMCPlusSMC(),
 		mitigation.SortedTSS(),
 		mitigation.MaskCap(64),
 		mitigation.MaskCapLRUSorted(64),
@@ -33,6 +35,9 @@ func main() {
 reading the table:
   vanilla      EMC absorbs the established flows; churn still pays the scan
   no-emc       the kernel-datapath model: every packet scans the masks
+  smc          OVS 2.10 signature-match cache: huge fingerprint table the
+               covert stream cannot thrash; warm flows skip the scan
+  emc+smc      the full 2.10 hierarchy: EMC for the hottest, SMC underneath
   sorted-tss   post-paper OVS ranking: rescues warm flows; cold misses still pay
   mask-cap     bounds masks but displaces victims' megaflows into upcalls
   cap-lru-sort keeps hot victim masks resident AND early: strong recovery

@@ -14,8 +14,10 @@ import (
 )
 
 func main() {
-	// 1. A switch with default (OVS-like) cache configuration.
-	sw := dataplane.New(dataplane.Config{Name: "br-int"})
+	// 1. A switch with the default (OVS-like) cache hierarchy: EMC in
+	// front of the megaflow TSS. Options compose other hierarchies, e.g.
+	// dataplane.New("br-int", dataplane.WithSMC(cache.SMCConfig{})).
+	sw := dataplane.New("br-int")
 	sw.AddPort(1, "vm1")
 
 	// 2. A whitelist + default-deny ACL, exactly Fig. 2a of the paper.

@@ -12,7 +12,6 @@ import (
 	"net/netip"
 
 	"policyinject/internal/acl"
-	"policyinject/internal/cache"
 	"policyinject/internal/conntrack"
 	"policyinject/internal/dataplane"
 	"policyinject/internal/flow"
@@ -20,11 +19,9 @@ import (
 )
 
 func main() {
-	sw := dataplane.New(dataplane.Config{
-		Name:      "sg-hv",
-		EMC:       cache.EMCConfig{Entries: -1}, // kernel-datapath model
-		Conntrack: &conntrack.Config{},
-	})
+	sw := dataplane.New("sg-hv",
+		dataplane.WithoutEMC(), // kernel-datapath model
+		dataplane.WithConntrack(conntrack.Config{}))
 
 	group := &acl.ACL{Comment: "web-sg", Stateful: true}
 	group.Allow(acl.Entry{Src: netip.MustParsePrefix("10.0.0.0/8")})

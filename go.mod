@@ -1,0 +1,3 @@
+module policyinject
+
+go 1.24

@@ -13,7 +13,7 @@ import (
 // installACL compiles the attack ACL into a fresh switch.
 func installACL(t testing.TB, a *Attack) *dataplane.Switch {
 	t.Helper()
-	sw := dataplane.New(dataplane.Config{Name: "victim-hv"})
+	sw := dataplane.New("victim-hv")
 	theACL, err := a.BuildACL()
 	if err != nil {
 		t.Fatal(err)

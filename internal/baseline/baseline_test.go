@@ -106,7 +106,7 @@ func TestDifferentialAgainstCachedDataplane(t *testing.T) {
 		}
 		direct := New(Config{Mode: Direct})
 		linear := New(Config{Mode: Linear})
-		cached := dataplane.New(dataplane.Config{})
+		cached := dataplane.New("cached")
 		rules, err := a.Compile()
 		if err != nil {
 			t.Fatal(err)

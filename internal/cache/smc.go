@@ -1,0 +1,144 @@
+package cache
+
+import "policyinject/internal/flow"
+
+// SMC is the signature-match cache OVS 2.10 added between the EMC and the
+// megaflow TSS: a large, cheap fingerprint→megaflow map. Where the EMC
+// stores full keys (large entries, small capacity), the SMC stores only a
+// hash fingerprint and a reference to the megaflow entry, so it holds two
+// orders of magnitude more flows in comparable memory (the OVS default is
+// one million entries against the EMC's 8192).
+//
+// An SMC hit must still verify the referenced megaflow against the packet
+// (the fingerprint is lossy), but that is one masked comparison instead of
+// a scan over every resident mask — which changes the economics of the
+// tuple-space explosion attack: attacker masks still grow the TSS scan,
+// but any flow the SMC retains skips the scan entirely, and the SMC is far
+// too large for the covert stream to thrash the way it thrashes the EMC.
+//
+// The model is deterministic: the table is a direct-mapped
+// fingerprint-indexed map (a colliding insert overwrites), reproducing the
+// bounded-memory, overwrite-on-collision behaviour of the real
+// fixed-geometry structure without modelling its 4-way buckets.
+type SMC struct {
+	cfg    SMCConfig
+	max    int
+	fpMask uint64
+	slots  map[uint64]smcSlot
+
+	// Stats
+	Hits, Misses, Inserts, Evictions, Stale uint64
+}
+
+// SMCConfig tunes the signature-match cache.
+type SMCConfig struct {
+	// Entries caps the number of fingerprints, rounded up to a power of
+	// two. 0 means the OVS default of one million. Negative disables the
+	// cache.
+	Entries int
+}
+
+// DefaultSMCEntries matches the OVS smc-enable default table size.
+const DefaultSMCEntries = 1 << 20
+
+type smcSlot struct {
+	sig uint16 // signature: high hash bits, cheap mismatch rejection
+	ent *Entry
+}
+
+// NewSMC builds a signature-match cache per cfg.
+func NewSMC(cfg SMCConfig) *SMC {
+	max := cfg.Entries
+	if max == 0 {
+		max = DefaultSMCEntries
+	}
+	if max < 0 {
+		return &SMC{cfg: cfg}
+	}
+	// Round up to a power of two so fingerprints are a simple bit mask.
+	n := 1
+	for n < max {
+		n <<= 1
+	}
+	return &SMC{cfg: cfg, max: n, fpMask: uint64(n - 1), slots: make(map[uint64]smcSlot)}
+}
+
+// Cap returns the configured capacity (0 when disabled).
+func (s *SMC) Cap() int { return s.max }
+
+// Len returns the number of occupied fingerprint slots.
+func (s *SMC) Len() int { return len(s.slots) }
+
+func (s *SMC) index(k flow.Key) (fp uint64, sig uint16) {
+	h := k.Hash()
+	return h & s.fpMask, uint16(h >> 48)
+}
+
+// Lookup consults the cache at logical time now. A fingerprint hit is
+// verified against the referenced megaflow's mask before being trusted
+// (fingerprints collide; signatures only pre-filter), and entries whose
+// megaflow has died are purged lazily, exactly as the EMC does.
+func (s *SMC) Lookup(k flow.Key, now uint64) (*Entry, bool) {
+	if s.max == 0 {
+		return nil, false
+	}
+	fp, sig := s.index(k)
+	slot, ok := s.slots[fp]
+	if !ok || slot.sig != sig {
+		s.Misses++
+		return nil, false
+	}
+	if slot.ent.Dead() {
+		delete(s.slots, fp)
+		s.Stale++
+		s.Misses++
+		return nil, false
+	}
+	if slot.ent.Match.Mask.Apply(k) != slot.ent.Match.Key {
+		// Fingerprint collision between distinct flows: a true miss.
+		s.Misses++
+		return nil, false
+	}
+	slot.ent.Hits++
+	slot.ent.LastHit = now
+	s.Hits++
+	return slot.ent, true
+}
+
+// Insert caches a reference to megaflow entry f for key k. A colliding
+// fingerprint is overwritten — the displacement policy of the real
+// fixed-size table.
+func (s *SMC) Insert(k flow.Key, f *Entry) {
+	if s.max == 0 || f == nil {
+		return
+	}
+	fp, sig := s.index(k)
+	if old, ok := s.slots[fp]; ok && (old.sig != sig || old.ent != f) {
+		s.Evictions++
+	}
+	s.slots[fp] = smcSlot{sig: sig, ent: f}
+	s.Inserts++
+}
+
+// Remove drops the slot k hashes to, if it currently references a live
+// entry for k's fingerprint.
+func (s *SMC) Remove(k flow.Key) bool {
+	if s.max == 0 {
+		return false
+	}
+	fp, sig := s.index(k)
+	slot, ok := s.slots[fp]
+	if !ok || slot.sig != sig {
+		return false
+	}
+	delete(s.slots, fp)
+	return true
+}
+
+// Flush empties the cache (used after policy changes).
+func (s *SMC) Flush() {
+	if s.max == 0 {
+		return
+	}
+	s.slots = make(map[uint64]smcSlot)
+}

@@ -1,0 +1,208 @@
+// Tier conformance suite: every cache tier the dataplane can stack — EMC,
+// SMC, megaflow TSS — must satisfy the same behavioural contract, checked
+// here against the dataplane.Tier adapters. New tier implementations
+// should be added to the fixture table.
+package cache_test
+
+import (
+	"testing"
+
+	"policyinject/internal/cache"
+	"policyinject/internal/dataplane"
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+)
+
+func confKey(src, dport uint64) flow.Key {
+	var k flow.Key
+	k.Set(flow.FieldEthType, flow.EthTypeIPv4)
+	k.Set(flow.FieldIPProto, flow.ProtoTCP)
+	k.Set(flow.FieldIPSrc, src)
+	k.Set(flow.FieldTPDst, dport)
+	return k
+}
+
+func allowVerdict() cache.Verdict { return cache.Verdict{Verdict: flowtable.Allow} }
+
+// tierFixture builds one tier under test. seed makes key k resident with
+// verdict v at time now, going through the tier's own installation route
+// (InsertMegaflow for the authoritative tier, Install of a live backing
+// megaflow entry for reference tiers). kill marks k's backing entry dead,
+// or is nil for tiers whose entries cannot dangle.
+type tierFixture struct {
+	tier dataplane.Tier
+	seed func(t *testing.T, k flow.Key, v cache.Verdict, now uint64) *cache.Entry
+	kill func(k flow.Key)
+}
+
+func fixtures(t *testing.T) map[string]func() tierFixture {
+	t.Helper()
+	// Reference tiers (EMC, SMC) cache pointers into an authoritative
+	// megaflow cache, exactly as they do inside the switch.
+	refFixture := func(tier dataplane.Tier) tierFixture {
+		backing := cache.NewMegaflow(cache.MegaflowConfig{})
+		matchFor := func(k flow.Key) flow.Match {
+			return flow.Match{Key: k, Mask: flow.ExactMask}
+		}
+		return tierFixture{
+			tier: tier,
+			seed: func(t *testing.T, k flow.Key, v cache.Verdict, now uint64) *cache.Entry {
+				t.Helper()
+				ent, err := backing.Insert(matchFor(k), v, now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tier.Install(k, ent)
+				return ent
+			},
+			kill: func(k flow.Key) { backing.Remove(matchFor(k)) },
+		}
+	}
+	return map[string]func() tierFixture{
+		"emc": func() tierFixture {
+			return refFixture(dataplane.NewEMCTier(cache.EMCConfig{}))
+		},
+		"smc": func() tierFixture {
+			return refFixture(dataplane.NewSMCTier(cache.SMCConfig{}))
+		},
+		"megaflow": func() tierFixture {
+			tier := dataplane.NewMegaflowTier(cache.MegaflowConfig{})
+			return tierFixture{
+				tier: tier,
+				seed: func(t *testing.T, k flow.Key, v cache.Verdict, now uint64) *cache.Entry {
+					t.Helper()
+					ent, err := tier.InsertMegaflow(flow.Match{Key: k, Mask: flow.ExactMask}, v, now)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return ent
+				},
+				kill: nil, // authoritative: its entries cannot dangle
+			}
+		},
+	}
+}
+
+func TestTierConformance(t *testing.T) {
+	for name, build := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Run("identity", func(t *testing.T) {
+				f := build()
+				if f.tier.Name() == "" {
+					t.Error("tier has no name")
+				}
+				if f.tier.Path() == dataplane.PathSlow {
+					t.Error("a cache tier must not report the slow path")
+				}
+			})
+
+			t.Run("fresh tier misses", func(t *testing.T) {
+				f := build()
+				if _, _, ok := f.tier.Lookup(confKey(0x0a000001, 80), 1); ok {
+					t.Fatal("empty tier reported a hit")
+				}
+				if f.tier.Stats().Misses == 0 {
+					t.Error("miss not counted")
+				}
+			})
+
+			t.Run("seeded key hits with its verdict", func(t *testing.T) {
+				f := build()
+				k := confKey(0x0a000001, 80)
+				seeded := f.seed(t, k, allowVerdict(), 5)
+				ent, _, ok := f.tier.Lookup(k, 7)
+				if !ok {
+					t.Fatal("seeded key missed")
+				}
+				if ent != seeded {
+					t.Fatal("hit returned a different entry than was seeded")
+				}
+				if ent.Verdict != allowVerdict() {
+					t.Fatalf("verdict = %v", ent.Verdict)
+				}
+				if ent.Hits == 0 {
+					t.Error("hit did not credit the entry")
+				}
+				if ent.LastHit != 7 {
+					t.Errorf("LastHit = %d, want 7 (hits must refresh idle state)", ent.LastHit)
+				}
+				st := f.tier.Stats()
+				if st.Hits == 0 {
+					t.Error("hit not counted in stats")
+				}
+				if st.Entries == 0 {
+					t.Error("stats report an empty tier after a seed")
+				}
+			})
+
+			t.Run("other keys still miss", func(t *testing.T) {
+				f := build()
+				f.seed(t, confKey(0x0a000001, 80), allowVerdict(), 1)
+				if _, _, ok := f.tier.Lookup(confKey(0x0a000002, 80), 2); ok {
+					t.Fatal("unseeded key hit")
+				}
+			})
+
+			t.Run("flush empties the tier", func(t *testing.T) {
+				f := build()
+				k := confKey(0x0a000001, 80)
+				f.seed(t, k, allowVerdict(), 1)
+				f.tier.Flush()
+				if _, _, ok := f.tier.Lookup(k, 2); ok {
+					t.Fatal("hit after Flush")
+				}
+			})
+
+			t.Run("evict idle does not panic and hits refresh", func(t *testing.T) {
+				f := build()
+				k := confKey(0x0a000001, 80)
+				f.seed(t, k, allowVerdict(), 1)
+				f.tier.Lookup(k, 50) // refresh
+				evicted := f.tier.EvictIdle(40)
+				if evicted < 0 {
+					t.Fatalf("evicted = %d", evicted)
+				}
+				// A recently-hit entry must survive any tier's idle sweep.
+				if _, _, ok := f.tier.Lookup(k, 51); !ok {
+					t.Fatal("recently-hit entry evicted by idle sweep")
+				}
+			})
+
+			if build().kill != nil {
+				t.Run("dead references purge lazily", func(t *testing.T) {
+					f := build()
+					k := confKey(0x0a000001, 80)
+					f.seed(t, k, allowVerdict(), 1)
+					f.kill(k)
+					if _, _, ok := f.tier.Lookup(k, 2); ok {
+						t.Fatal("dead reference served as a hit")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestMegaflowTierEvictsIdle pins the authoritative tier's extra duty: the
+// idle sweep actually removes stale megaflows (reference tiers instead
+// invalidate lazily and return 0).
+func TestMegaflowTierEvictsIdle(t *testing.T) {
+	tier := dataplane.NewMegaflowTier(cache.MegaflowConfig{})
+	hot := confKey(0x0a000001, 80)
+	cold := confKey(0x0a000002, 81)
+	for _, k := range []flow.Key{hot, cold} {
+		if _, err := tier.InsertMegaflow(flow.Match{Key: k, Mask: flow.ExactMask}, allowVerdict(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tier.Lookup(hot, 30)
+	if evicted := tier.EvictIdle(20); evicted != 1 {
+		t.Fatalf("evicted = %d, want 1 (the cold entry)", evicted)
+	}
+	if _, _, ok := tier.Lookup(hot, 31); !ok {
+		t.Fatal("hot entry evicted")
+	}
+	if _, _, ok := tier.Lookup(cold, 31); ok {
+		t.Fatal("cold entry survived")
+	}
+}

@@ -70,8 +70,9 @@ type Cluster struct {
 	// and reconciled by ApplySelectorPolicy / SetLabels / DeployPod.
 	selectorPolicies map[string][]*selectorPolicy
 
-	// SwitchConfig is used for switches of nodes added with AddNode.
-	SwitchConfig dataplane.Config
+	// SwitchOpts configure the switches of nodes added with AddNode (each
+	// node gets its own tier instances, assembled fresh from the options).
+	SwitchOpts []dataplane.Option
 
 	nextIP uint32 // pod IP allocator within 172.16.0.0/12
 }
@@ -91,9 +92,7 @@ func (c *Cluster) AddNode(name string) (*Node, error) {
 	if _, ok := c.nodes[name]; ok {
 		return nil, fmt.Errorf("cms: node %q exists", name)
 	}
-	cfg := c.SwitchConfig
-	cfg.Name = name
-	n := &Node{Name: name, Switch: dataplane.New(cfg)}
+	n := &Node{Name: name, Switch: dataplane.New(name, c.SwitchOpts...)}
 	c.nodes[name] = n
 	return n, nil
 }

@@ -1,11 +1,18 @@
 // Package dataplane assembles the hypervisor switch the paper attacks: the
-// slow-path classifier (package classifier) behind a two-level fast path
-// (package cache), with upcall handling, revalidation and counters — a
-// faithful functional model of the Open vSwitch datapath pipeline:
+// slow-path classifier (package classifier) behind a composable hierarchy
+// of fast-path cache tiers (package cache), with upcall handling,
+// revalidation and counters — a functional model of the Open vSwitch
+// datapath pipeline:
 //
-//	packet -> EMC (exact match) -> megaflow TSS -> upcall to slow path
-//	                                                  |
-//	                              megaflow + EMC  <---+ install
+//	packet -> tier 0 (EMC) -> tier 1 (SMC, optional) -> tier N (megaflow TSS) -> upcall
+//	                                                                                |
+//	                            every tier  <---  install + promote  <-------------+
+//
+// The hierarchy is assembled with functional options (WithEMC, WithSMC,
+// WithMegaflow, ...) or fully custom via WithTiers; the switch walks
+// whatever tiers it was given, so real OVS variants — the 2.6 default
+// (EMC+TSS), the 2.10 signature-match cache, EMC-off kernel deployments —
+// and per-tier mitigations are all constructions, not forks.
 //
 // The switch is driven by a logical clock supplied by the caller (the
 // simulator or the benchmarks), keeping every experiment deterministic.
@@ -28,6 +35,7 @@ type Path uint8
 
 const (
 	PathEMC Path = iota
+	PathSMC
 	PathMegaflow
 	PathSlow
 )
@@ -36,6 +44,8 @@ func (p Path) String() string {
 	switch p {
 	case PathEMC:
 		return "emc"
+	case PathSMC:
+		return "smc"
 	case PathMegaflow:
 		return "megaflow"
 	default:
@@ -43,19 +53,58 @@ func (p Path) String() string {
 	}
 }
 
-// Config assembles a Switch.
-type Config struct {
-	Name       string
-	EMC        cache.EMCConfig
-	Megaflow   cache.MegaflowConfig
-	Classifier classifier.Config
-	// MaxIdle is the revalidator idle timeout in logical time units;
-	// 0 means 10 (the OVS default of 10s, at one unit per second).
-	MaxIdle uint64
-	// Conntrack, when non-nil, attaches a connection tracker so stateful
-	// ACLs (Recirc/Commit actions) work. Stateless rule sets are
-	// unaffected.
-	Conntrack *conntrack.Config
+// config collects what the options assemble. It is internal: switches are
+// built with New(name, opts...).
+type config struct {
+	emc        *cache.EMCConfig
+	smc        *cache.SMCConfig
+	megaflow   cache.MegaflowConfig
+	classifier classifier.Config
+	maxIdle    uint64
+	conntrack  *conntrack.Config
+	tiers      []Tier // custom hierarchy (tiersSet): other cache opts ignored
+	tiersSet   bool
+}
+
+// Option configures a Switch under construction.
+type Option func(*config)
+
+// WithEMC sets the exact-match (microflow) cache configuration. The EMC is
+// on by default; pass a negative Entries (or use WithoutEMC) to disable.
+func WithEMC(cfg cache.EMCConfig) Option { return func(c *config) { c.emc = &cfg } }
+
+// WithoutEMC removes the exact-match cache — the OVS *kernel* datapath
+// model the paper's Kubernetes demo exercises.
+func WithoutEMC() Option {
+	return WithEMC(cache.EMCConfig{Entries: -1})
+}
+
+// WithSMC inserts OVS 2.10's signature-match cache between the EMC and the
+// megaflow TSS (off by default, as in OVS).
+func WithSMC(cfg cache.SMCConfig) Option { return func(c *config) { c.smc = &cfg } }
+
+// WithMegaflow sets the megaflow TSS configuration (flow limits, mask
+// quotas, sorted-TSS mitigation).
+func WithMegaflow(cfg cache.MegaflowConfig) Option { return func(c *config) { c.megaflow = cfg } }
+
+// WithClassifier sets the slow-path classifier configuration.
+func WithClassifier(cfg classifier.Config) Option { return func(c *config) { c.classifier = cfg } }
+
+// WithMaxIdle sets the revalidator idle timeout in logical time units
+// (default 10, the OVS max-idle of 10s at one unit per second).
+func WithMaxIdle(units uint64) Option { return func(c *config) { c.maxIdle = units } }
+
+// WithConntrack attaches a connection tracker so stateful ACLs
+// (Recirc/Commit actions) work. Stateless rule sets are unaffected.
+func WithConntrack(cfg conntrack.Config) Option { return func(c *config) { c.conntrack = &cfg } }
+
+// WithTiers replaces the default hierarchy with an explicit tier list,
+// walked in order. The cache options (WithEMC/WithSMC/WithMegaflow) are
+// ignored when this is used. Upcall results are installed into the last
+// tier implementing MegaflowInstaller; without one the switch still
+// classifies correctly but caches nothing.
+func WithTiers(tiers ...Tier) Option {
+	return func(c *config) { c.tiers, c.tiersSet = tiers, true }
 }
 
 // Decision is the outcome of processing one packet.
@@ -66,17 +115,44 @@ type Decision struct {
 	Recirculated bool
 }
 
-// Counters aggregates switch-level statistics.
+// TierHit is one tier's hit count in a Counters snapshot, in tier walk
+// order.
+type TierHit struct {
+	Tier string
+	Hits uint64
+}
+
+// Counters aggregates switch-level statistics. Cache hits are per tier
+// (TierHits, in walk order); the EMCHits/MFHits accessors cover the common
+// hierarchies.
 type Counters struct {
 	Packets    uint64
-	EMCHits    uint64
-	MFHits     uint64
+	TierHits   []TierHit
 	Upcalls    uint64
 	Allowed    uint64
 	Denied     uint64
 	ParseError uint64
 	InstallErr uint64 // upcalls whose megaflow could not be installed
 }
+
+// HitsFor returns the hit count of the named tier (0 when absent).
+func (c Counters) HitsFor(tier string) uint64 {
+	for _, th := range c.TierHits {
+		if th.Tier == tier {
+			return th.Hits
+		}
+	}
+	return 0
+}
+
+// EMCHits returns the exact-match tier's hit count.
+func (c Counters) EMCHits() uint64 { return c.HitsFor("emc") }
+
+// SMCHits returns the signature-match tier's hit count.
+func (c Counters) SMCHits() uint64 { return c.HitsFor("smc") }
+
+// MFHits returns the megaflow tier's hit count.
+func (c Counters) MFHits() uint64 { return c.HitsFor("megaflow") }
 
 // Port is a virtual port of the switch (a pod/VM attachment point).
 type Port struct {
@@ -90,39 +166,75 @@ type Port struct {
 
 // Switch is the hypervisor switch instance. Not safe for concurrent use;
 // experiments drive it from one goroutine, as a single PMD thread would.
+// For the multi-core view, see PMDPool.
 type Switch struct {
-	cfg   Config
-	table flowtable.Table
-	cls   *classifier.Classifier
-	emc   *cache.EMC
-	mfc   *cache.Megaflow
-	ports map[uint32]*Port
+	name    string
+	maxIdle uint64
+	table   flowtable.Table
+	cls     *classifier.Classifier
+	ports   map[uint32]*Port
+
+	tiers     []Tier
+	tierHits  []uint64
+	installer MegaflowInstaller // last installer tier, nil if none
+	promoteTo int               // tiers[:promoteTo] receive upcall promotions
 
 	ct *conntrack.Table
 
 	counters Counters
 }
 
-// New builds a Switch per cfg.
-func New(cfg Config) *Switch {
-	if cfg.MaxIdle == 0 {
-		cfg.MaxIdle = 10
+// New builds a Switch with the given name and options. With no options the
+// hierarchy is the stock OVS userspace datapath: default EMC in front of a
+// default megaflow TSS.
+func New(name string, opts ...Option) *Switch {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxIdle == 0 {
+		cfg.maxIdle = 10
+	}
+	tiers := cfg.tiers
+	if !cfg.tiersSet {
+		emcCfg := cache.EMCConfig{}
+		if cfg.emc != nil {
+			emcCfg = *cfg.emc
+		}
+		if emcCfg.Entries >= 0 {
+			tiers = append(tiers, NewEMCTier(emcCfg))
+		}
+		if cfg.smc != nil && cfg.smc.Entries >= 0 {
+			tiers = append(tiers, NewSMCTier(*cfg.smc))
+		}
+		tiers = append(tiers, NewMegaflowTier(cfg.megaflow))
 	}
 	s := &Switch{
-		cfg:   cfg,
-		cls:   classifier.New(cfg.Classifier),
-		emc:   cache.NewEMC(cfg.EMC),
-		mfc:   cache.NewMegaflow(cfg.Megaflow),
-		ports: make(map[uint32]*Port),
+		name:     name,
+		maxIdle:  cfg.maxIdle,
+		cls:      classifier.New(cfg.classifier),
+		ports:    make(map[uint32]*Port),
+		tiers:    tiers,
+		tierHits: make([]uint64, len(tiers)),
 	}
-	if cfg.Conntrack != nil {
-		s.ct = conntrack.New(*cfg.Conntrack)
+	for i := len(tiers) - 1; i >= 0; i-- {
+		if inst, ok := tiers[i].(MegaflowInstaller); ok {
+			s.installer = inst
+			s.promoteTo = i
+			break
+		}
+	}
+	if cfg.conntrack != nil {
+		s.ct = conntrack.New(*cfg.conntrack)
 	}
 	return s
 }
 
 // Name returns the configured switch name.
-func (s *Switch) Name() string { return s.cfg.Name }
+func (s *Switch) Name() string { return s.name }
+
+// Tiers returns the cache hierarchy in walk order.
+func (s *Switch) Tiers() []Tier { return s.tiers }
 
 // AddPort creates a port with the given id, returning it. Adding an
 // existing id returns the existing port.
@@ -168,8 +280,9 @@ func (s *Switch) RemoveRule(r *flowtable.Rule) bool {
 }
 
 func (s *Switch) flushCaches() {
-	s.emc.Flush()
-	s.mfc.Flush()
+	for _, t := range s.tiers {
+		t.Flush()
+	}
 }
 
 // Rules returns the installed rules in evaluation order.
@@ -192,8 +305,13 @@ func (s *Switch) Process(now uint64, inPort uint32, frame []byte) (Decision, err
 		return Decision{Verdict: cache.Verdict{Verdict: flowtable.Deny}}, err
 	}
 	d := s.ProcessKey(now, k)
-	if p := s.ports[inPort]; p != nil && d.Verdict.Verdict == flowtable.Deny {
-		p.RxDropped++
+	if p := s.ports[inPort]; p != nil {
+		if d.Verdict.Verdict == flowtable.Allow {
+			p.TxPackets++
+			p.TxBytes += uint64(len(frame))
+		} else {
+			p.RxDropped++
+		}
 	}
 	return d, nil
 }
@@ -206,6 +324,12 @@ func (s *Switch) Process(now uint64, inPort uint32, frame []byte) (Decision, err
 // both passes billed, as both cost the real switch.
 func (s *Switch) ProcessKey(now uint64, k flow.Key) Decision {
 	s.counters.Packets++
+	return s.processOne(now, k)
+}
+
+// processOne is ProcessKey minus the packet counter, so ProcessBatch can
+// bill a whole burst with one add.
+func (s *Switch) processOne(now uint64, k flow.Key) Decision {
 	d := s.classifyOnce(now, k)
 	if !d.Verdict.Recirc {
 		s.account(d.Verdict)
@@ -238,34 +362,66 @@ func (s *Switch) ProcessKey(now uint64, k flow.Key) Decision {
 	return d2
 }
 
-// classifyOnce runs one pipeline pass (EMC -> megaflow -> upcall) without
-// verdict accounting or recirculation handling.
+// GrowDecisions returns out resized to n decisions, reallocating only
+// when its capacity is insufficient — the shared output-buffer contract
+// of every ProcessBatch implementation.
+func GrowDecisions(out []Decision, n int) []Decision {
+	if cap(out) < n {
+		out = make([]Decision, n)
+	}
+	return out[:n]
+}
+
+// ProcessBatch classifies a batch of keys at logical time now, writing one
+// Decision per key into out (grown if needed) and returning it. Batching
+// is the first-class driving surface: the simulator and the PMD pool hand
+// whole NIC bursts to the pipeline instead of one packet at a time.
+func (s *Switch) ProcessBatch(now uint64, keys []flow.Key, out []Decision) []Decision {
+	out = GrowDecisions(out, len(keys))
+	s.counters.Packets += uint64(len(keys))
+	for i := range keys {
+		out[i] = s.processOne(now, keys[i])
+	}
+	return out
+}
+
+// classifyOnce runs one pipeline pass (tier walk -> upcall) without
+// verdict accounting or recirculation handling. A hit on tier i is
+// promoted into tiers [0, i); an upcall's synthesised megaflow is
+// installed into the authoritative tier and promoted above it.
 func (s *Switch) classifyOnce(now uint64, k flow.Key) Decision {
-	if ent, ok := s.emc.Lookup(k, now); ok {
-		s.counters.EMCHits++
-		return Decision{Verdict: ent.Verdict, Path: PathEMC}
+	scanned := 0
+	for i, t := range s.tiers {
+		ent, cost, ok := t.Lookup(k, now)
+		scanned += cost
+		if !ok {
+			continue
+		}
+		s.tierHits[i]++
+		for _, upper := range s.tiers[:i] {
+			upper.Install(k, ent)
+		}
+		return Decision{Verdict: ent.Verdict, Path: t.Path(), MasksScanned: scanned}
 	}
 
-	ent, scanned, ok := s.mfc.Lookup(k, now)
-	if ok {
-		s.counters.MFHits++
-		s.emc.Insert(k, ent)
-		return Decision{Verdict: ent.Verdict, Path: PathMegaflow, MasksScanned: scanned}
-	}
-
-	// Upcall: full slow-path classification, then cache the megaflow. The
-	// EMC entry references the megaflow so its hits keep the flow warm.
+	// Upcall: full slow-path classification, then cache the megaflow in
+	// the authoritative tier and reference it from the tiers above, so
+	// their hits keep the flow warm.
 	s.counters.Upcalls++
 	res := s.cls.Lookup(k)
 	v := cache.Verdict{Verdict: flowtable.Deny}
 	if res.Rule != nil {
 		v = res.Rule.Action
 	}
-	mfEnt, err := s.mfc.Insert(res.Megaflow, v, now)
-	if err != nil {
-		s.counters.InstallErr++
-	} else {
-		s.emc.Insert(k, mfEnt)
+	if s.installer != nil {
+		ent, err := s.installer.InsertMegaflow(res.Megaflow, v, now)
+		if err != nil {
+			s.counters.InstallErr++
+		} else {
+			for _, upper := range s.tiers[:s.promoteTo] {
+				upper.Install(k, ent)
+			}
+		}
 	}
 	return Decision{Verdict: v, Path: PathSlow, MasksScanned: scanned}
 }
@@ -279,29 +435,67 @@ func (s *Switch) account(v cache.Verdict) {
 }
 
 // RunRevalidator performs the periodic maintenance OVS's revalidator
-// threads do: evict megaflows idle past the configured timeout and expire
-// stale conntrack entries. Returns the megaflow eviction count.
+// threads do: evict cache entries idle past the configured timeout (tier
+// by tier) and expire stale conntrack entries. Returns the eviction count.
 func (s *Switch) RunRevalidator(now uint64) int {
 	if s.ct != nil {
 		s.ct.Expire(now)
 	}
-	if now < s.cfg.MaxIdle {
+	if now < s.maxIdle {
 		return 0
 	}
-	return s.mfc.EvictIdle(now - s.cfg.MaxIdle)
+	evicted := 0
+	for _, t := range s.tiers {
+		evicted += t.EvictIdle(now - s.maxIdle)
+	}
+	return evicted
 }
 
 // Conntrack exposes the connection tracker, or nil when stateless.
 func (s *Switch) Conntrack() *conntrack.Table { return s.ct }
 
 // Counters returns a snapshot of the switch counters.
-func (s *Switch) Counters() Counters { return s.counters }
+func (s *Switch) Counters() Counters {
+	c := s.counters
+	c.TierHits = make([]TierHit, len(s.tiers))
+	for i, t := range s.tiers {
+		c.TierHits[i] = TierHit{Tier: t.Name(), Hits: s.tierHits[i]}
+	}
+	return c
+}
 
-// EMC exposes the microflow cache for inspection and experiments.
-func (s *Switch) EMC() *cache.EMC { return s.emc }
+// EMC exposes the microflow cache for inspection and experiments, or nil
+// when the hierarchy has no EMC tier.
+func (s *Switch) EMC() *cache.EMC {
+	for _, t := range s.tiers {
+		if et, ok := t.(*EMCTier); ok {
+			return et.EMC()
+		}
+	}
+	return nil
+}
 
-// Megaflow exposes the megaflow cache for inspection and experiments.
-func (s *Switch) Megaflow() *cache.Megaflow { return s.mfc }
+// SMC exposes the signature-match cache, or nil when the hierarchy has no
+// SMC tier.
+func (s *Switch) SMC() *cache.SMC {
+	for _, t := range s.tiers {
+		if st, ok := t.(*SMCTier); ok {
+			return st.SMC()
+		}
+	}
+	return nil
+}
+
+// Megaflow exposes the megaflow cache for inspection and experiments, or
+// nil when the hierarchy has no megaflow tier.
+func (s *Switch) Megaflow() *cache.Megaflow {
+	for _, t := range s.tiers {
+		if mt, ok := t.(*MegaflowTier); ok {
+			return mt.Megaflow()
+		}
+	}
+	return nil
+}
 
 // Classifier exposes the slow-path classifier for inspection.
 func (s *Switch) Classifier() *classifier.Classifier { return s.cls }
@@ -309,9 +503,14 @@ func (s *Switch) Classifier() *classifier.Classifier { return s.cls }
 // String renders a dpctl-style summary.
 func (s *Switch) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "switch %q: %d rules, %d ports\n", s.cfg.Name, s.table.Len(), len(s.ports))
-	fmt.Fprintf(&b, "  counters: %+v\n", s.counters)
-	fmt.Fprintf(&b, "  emc: %d/%d entries\n", s.emc.Len(), s.emc.Cap())
-	fmt.Fprintf(&b, "  %s", s.mfc.String())
+	fmt.Fprintf(&b, "switch %q: %d rules, %d ports\n", s.name, s.table.Len(), len(s.ports))
+	fmt.Fprintf(&b, "  counters: %+v\n", s.Counters())
+	for _, t := range s.tiers {
+		if mt, ok := t.(*MegaflowTier); ok {
+			fmt.Fprintf(&b, "  %s", mt.Megaflow().String())
+			continue
+		}
+		fmt.Fprintf(&b, "  %s\n", t.Stats())
+	}
 	return b.String()
 }

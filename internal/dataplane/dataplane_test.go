@@ -11,8 +11,8 @@ import (
 )
 
 // aclSwitch builds a switch with the paper's Fig. 2a ACL installed.
-func aclSwitch(cfg Config) *Switch {
-	s := New(cfg)
+func aclSwitch(opts ...Option) *Switch {
+	s := New("br0", opts...)
 	var m flow.Match
 	m.Key.Set(flow.FieldIPSrc, 0x0a000000)
 	m.Mask.SetPrefix(flow.FieldIPSrc, 8)
@@ -33,7 +33,7 @@ func tcpKey(src, dst uint64, sport, dport uint64) flow.Key {
 }
 
 func TestPipelinePathProgression(t *testing.T) {
-	s := aclSwitch(Config{})
+	s := aclSwitch()
 	k := tcpKey(0x0a000001, 0x0a000002, 1234, 80)
 
 	// First packet: slow path (upcall).
@@ -58,13 +58,13 @@ func TestPipelinePathProgression(t *testing.T) {
 	}
 
 	c := s.Counters()
-	if c.Upcalls != 1 || c.EMCHits != 2 || c.MFHits != 1 || c.Packets != 4 {
+	if c.Upcalls != 1 || c.EMCHits() != 2 || c.MFHits() != 1 || c.Packets != 4 {
 		t.Errorf("counters: %+v", c)
 	}
 }
 
 func TestVerdicts(t *testing.T) {
-	s := aclSwitch(Config{})
+	s := aclSwitch()
 	if d := s.ProcessKey(1, tcpKey(0x0a010101, 0, 1, 2)); d.Verdict.Verdict != flowtable.Allow {
 		t.Error("10.1.1.1 should be allowed")
 	}
@@ -78,7 +78,7 @@ func TestVerdicts(t *testing.T) {
 }
 
 func TestEmptyTableDeniesByDefault(t *testing.T) {
-	s := New(Config{})
+	s := New("br0")
 	d := s.ProcessKey(1, tcpKey(1, 2, 3, 4))
 	if d.Verdict.Verdict != flowtable.Deny {
 		t.Fatal("empty table must default-deny")
@@ -86,7 +86,7 @@ func TestEmptyTableDeniesByDefault(t *testing.T) {
 }
 
 func TestProcessFrame(t *testing.T) {
-	s := aclSwitch(Config{})
+	s := aclSwitch()
 	s.AddPort(1, "vport1")
 	frame := pkt.MustBuild(pkt.Spec{
 		Src:     netip.MustParseAddr("10.0.0.1"),
@@ -106,7 +106,7 @@ func TestProcessFrame(t *testing.T) {
 }
 
 func TestProcessFrameParseError(t *testing.T) {
-	s := aclSwitch(Config{})
+	s := aclSwitch()
 	s.AddPort(1, "vport1")
 	_, err := s.Process(1, 1, []byte{1, 2, 3})
 	if err == nil {
@@ -121,7 +121,7 @@ func TestProcessFrameParseError(t *testing.T) {
 }
 
 func TestDeniedFrameCountsAsPortDrop(t *testing.T) {
-	s := aclSwitch(Config{})
+	s := aclSwitch()
 	s.AddPort(1, "vport1")
 	frame := pkt.MustBuild(pkt.Spec{
 		Src:   netip.MustParseAddr("192.168.0.1"),
@@ -137,7 +137,7 @@ func TestDeniedFrameCountsAsPortDrop(t *testing.T) {
 }
 
 func TestInstallRuleFlushesCaches(t *testing.T) {
-	s := aclSwitch(Config{})
+	s := aclSwitch()
 	k := tcpKey(0xc0a80001, 0, 1, 2) // currently denied
 	if d := s.ProcessKey(1, k); d.Verdict.Verdict != flowtable.Deny {
 		t.Fatal("precondition")
@@ -157,7 +157,7 @@ func TestInstallRuleFlushesCaches(t *testing.T) {
 }
 
 func TestRemoveRuleFlushesCaches(t *testing.T) {
-	s := New(Config{})
+	s := New("br0")
 	var m flow.Match
 	m.Key.Set(flow.FieldIPSrc, 0x0a000000)
 	m.Mask.SetPrefix(flow.FieldIPSrc, 8)
@@ -180,7 +180,7 @@ func TestRemoveRuleFlushesCaches(t *testing.T) {
 }
 
 func TestRevalidatorEvictsIdleMegaflows(t *testing.T) {
-	s := aclSwitch(Config{MaxIdle: 10})
+	s := aclSwitch(WithMaxIdle(10))
 	s.ProcessKey(1, tcpKey(0x0a000001, 0, 1, 2))
 	s.ProcessKey(1, tcpKey(0xc0000001, 0, 1, 2))
 	if s.Megaflow().Len() != 2 {
@@ -197,7 +197,7 @@ func TestRevalidatorEvictsIdleMegaflows(t *testing.T) {
 }
 
 func TestRevalidatorEarlyClock(t *testing.T) {
-	s := aclSwitch(Config{MaxIdle: 10})
+	s := aclSwitch(WithMaxIdle(10))
 	s.ProcessKey(1, tcpKey(0x0a000001, 0, 1, 2))
 	if evicted := s.RunRevalidator(5); evicted != 0 {
 		t.Fatalf("evicted = %d before idle horizon", evicted)
@@ -205,7 +205,7 @@ func TestRevalidatorEarlyClock(t *testing.T) {
 }
 
 func TestInstallErrCountedOnFlowLimit(t *testing.T) {
-	s := New(Config{Megaflow: cache.MegaflowConfig{FlowLimit: 1}})
+	s := New("br0", WithMegaflow(cache.MegaflowConfig{FlowLimit: 1}))
 	s.InstallRule(flowtable.Rule{Priority: 0}) // deny *
 	s.ProcessKey(1, tcpKey(1, 0, 0, 0))
 	// Second distinct flow: the megaflow cache is full. (With an empty
@@ -223,7 +223,7 @@ func TestInstallErrCountedOnFlowLimit(t *testing.T) {
 }
 
 func TestPorts(t *testing.T) {
-	s := New(Config{Name: "br-int"})
+	s := New("br-int")
 	p1 := s.AddPort(1, "a")
 	if s.AddPort(1, "dup") != p1 {
 		t.Error("duplicate AddPort did not return existing port")
@@ -240,7 +240,7 @@ func TestPorts(t *testing.T) {
 func TestMasksGrowPerDivergentFlow(t *testing.T) {
 	// The attack precondition at dataplane level: distinct divergence
 	// depths create distinct masks.
-	s := New(Config{})
+	s := New("br0")
 	var m flow.Match
 	m.Key.Set(flow.FieldIPSrc, 0x0a000001)
 	m.Mask.SetExact(flow.FieldIPSrc)
@@ -257,7 +257,7 @@ func TestMasksGrowPerDivergentFlow(t *testing.T) {
 }
 
 func TestStringSummary(t *testing.T) {
-	s := aclSwitch(Config{Name: "br0"})
+	s := aclSwitch()
 	s.ProcessKey(1, tcpKey(0x0a000001, 0, 1, 2))
 	out := s.String()
 	for _, want := range []string{"br0", "2 rules", "megaflow cache"} {
@@ -276,4 +276,155 @@ func containsStr(s, sub string) bool {
 		}
 		return false
 	})()
+}
+
+func TestPipelineWithSMCPathProgression(t *testing.T) {
+	// OVS 2.10 hierarchy: EMC -> SMC -> megaflow TSS.
+	s := aclSwitch(WithSMC(cache.SMCConfig{Entries: 1 << 12}))
+	k := tcpKey(0x0a000001, 0x0a000002, 1234, 80)
+
+	// Upcall installs the megaflow and promotes into SMC and EMC.
+	if d := s.ProcessKey(1, k); d.Path != PathSlow {
+		t.Fatalf("first packet path = %v", d.Path)
+	}
+	// The EMC (tier 0) answers first for the exact flow.
+	if d := s.ProcessKey(2, k); d.Path != PathEMC {
+		t.Fatalf("second packet path = %v", d.Path)
+	}
+	// Drop the flow from the EMC only: the SMC must answer next, and the
+	// hit re-promotes into the EMC.
+	s.EMC().Remove(k)
+	if d := s.ProcessKey(3, k); d.Path != PathSMC {
+		t.Fatalf("post-EMC-eviction path = %v, want smc", d.Path)
+	}
+	if d := s.ProcessKey(4, k); d.Path != PathEMC {
+		t.Fatalf("re-promotion failed, path = %v", d.Path)
+	}
+
+	c := s.Counters()
+	if c.EMCHits() != 2 || c.SMCHits() != 1 || c.Upcalls != 1 {
+		t.Errorf("counters: %+v", c)
+	}
+	if s.SMC() == nil || s.SMC().Len() == 0 {
+		t.Error("SMC accessor empty")
+	}
+}
+
+func TestSMCOnlyHierarchy(t *testing.T) {
+	// EMC off, SMC on: the kernel-datapath-with-SMC experiment the old
+	// hardcoded pipeline could not express.
+	s := aclSwitch(WithoutEMC(), WithSMC(cache.SMCConfig{Entries: 1 << 12}))
+	if s.EMC() != nil {
+		t.Fatal("EMC tier present despite WithoutEMC")
+	}
+	k := tcpKey(0x0a000001, 0x0a000002, 1234, 80)
+	if d := s.ProcessKey(1, k); d.Path != PathSlow {
+		t.Fatalf("first packet path = %v", d.Path)
+	}
+	if d := s.ProcessKey(2, k); d.Path != PathSMC {
+		t.Fatalf("second packet path = %v, want smc", d.Path)
+	}
+	// A sibling flow under the same megaflow: not in the SMC yet, so the
+	// TSS answers, then the SMC.
+	k2 := tcpKey(0x0a000001, 0x0a000002, 9999, 80)
+	if d := s.ProcessKey(3, k2); d.Path != PathMegaflow {
+		t.Fatalf("sibling path = %v", d.Path)
+	}
+	if d := s.ProcessKey(4, k2); d.Path != PathSMC {
+		t.Fatalf("sibling second path = %v", d.Path)
+	}
+}
+
+func TestWithTiersCustomHierarchy(t *testing.T) {
+	// A hand-assembled hierarchy: SMC directly over the TSS.
+	s := New("custom", WithTiers(
+		NewSMCTier(cache.SMCConfig{Entries: 256}),
+		NewMegaflowTier(cache.MegaflowConfig{}),
+	))
+	var m flow.Match
+	m.Key.Set(flow.FieldIPSrc, 0x0a000000)
+	m.Mask.SetPrefix(flow.FieldIPSrc, 8)
+	s.InstallRule(flowtable.Rule{Match: m, Priority: 10, Action: flowtable.Action{Verdict: flowtable.Allow}})
+	s.InstallRule(flowtable.Rule{Priority: 0})
+
+	if got := len(s.Tiers()); got != 2 {
+		t.Fatalf("tiers = %d", got)
+	}
+	k := tcpKey(0x0a000001, 0, 1, 2)
+	s.ProcessKey(1, k)
+	if d := s.ProcessKey(2, k); d.Path != PathSMC {
+		t.Fatalf("custom hierarchy second packet path = %v", d.Path)
+	}
+	if s.Counters().HitsFor("smc") != 1 {
+		t.Errorf("per-tier counters: %+v", s.Counters().TierHits)
+	}
+}
+
+func TestTierlessSwitchStillClassifies(t *testing.T) {
+	// No installer tier at all: every packet is an upcall, but verdicts
+	// must stay correct (the degenerate cache-less construction).
+	s := New("bare", WithTiers())
+	var m flow.Match
+	m.Key.Set(flow.FieldIPSrc, 0x0a000000)
+	m.Mask.SetPrefix(flow.FieldIPSrc, 8)
+	s.InstallRule(flowtable.Rule{Match: m, Priority: 10, Action: flowtable.Action{Verdict: flowtable.Allow}})
+	s.InstallRule(flowtable.Rule{Priority: 0})
+	for now := uint64(1); now <= 3; now++ {
+		if d := s.ProcessKey(now, tcpKey(0x0a000001, 0, 1, 2)); d.Path != PathSlow || d.Verdict.Verdict != flowtable.Allow {
+			t.Fatalf("t=%d: %+v", now, d)
+		}
+	}
+	if c := s.Counters(); c.Upcalls != 3 {
+		t.Errorf("upcalls = %d, want 3 (nothing should cache)", c.Upcalls)
+	}
+}
+
+func TestProcessBatchMatchesProcessKey(t *testing.T) {
+	a, b := aclSwitch(), aclSwitch()
+	keys := make([]flow.Key, 0, 64)
+	for i := 0; i < 64; i++ {
+		keys = append(keys, tcpKey(uint64(0x0a000000+i%7), 0x0a000002, uint64(1000+i), 80))
+	}
+	var seq []Decision
+	for _, k := range keys {
+		seq = append(seq, a.ProcessKey(1, k))
+	}
+	batch := b.ProcessBatch(1, keys, nil)
+	for i := range keys {
+		if seq[i] != batch[i] {
+			t.Fatalf("key %d: %+v != %+v", i, seq[i], batch[i])
+		}
+	}
+	if a.Counters().Packets != b.Counters().Packets {
+		t.Error("packet counters diverge")
+	}
+}
+
+func TestTxCountersAccountAllowedFrames(t *testing.T) {
+	s := aclSwitch()
+	s.AddPort(1, "vport1")
+	allowed := pkt.MustBuild(pkt.Spec{
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.9"),
+		Proto: pkt.ProtoTCP, SrcPort: 5555, DstPort: 80,
+	})
+	denied := pkt.MustBuild(pkt.Spec{
+		Src: netip.MustParseAddr("192.168.0.1"), Dst: netip.MustParseAddr("10.0.0.9"),
+		Proto: pkt.ProtoTCP, SrcPort: 5555, DstPort: 80,
+	})
+	if _, err := s.Process(1, 1, allowed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(2, 1, allowed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(3, 1, denied); err != nil {
+		t.Fatal(err)
+	}
+	p := s.Port(1)
+	if p.TxPackets != 2 || p.TxBytes != 2*uint64(len(allowed)) {
+		t.Errorf("tx counters: packets=%d bytes=%d, want 2/%d", p.TxPackets, p.TxBytes, 2*len(allowed))
+	}
+	if p.RxPackets != 3 || p.RxDropped != 1 {
+		t.Errorf("rx counters: %+v", p)
+	}
 }

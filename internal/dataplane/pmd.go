@@ -9,10 +9,10 @@ import (
 )
 
 // PMDPool models the multi-core OVS datapath: one poll-mode-driver (PMD)
-// instance per core, each with its *own* caches (EMC and megaflow TSS,
-// exactly as OVS keeps dpcls instances per PMD), fed by RSS — packets are
-// steered to a PMD by flow-key hash, so one flow's packets always land on
-// the same core.
+// instance per core, each with its *own* cache hierarchy (per-PMD EMC, SMC
+// and megaflow TSS, exactly as OVS keeps dpcls instances per PMD), fed by
+// RSS — packets are steered to a PMD by flow-key hash, so one flow's
+// packets always land on the same core.
 //
 // The multi-queue view adds an honest nuance to the attack analysis: RSS
 // spreads the covert stream's distinct 5-tuples across PMDs, so each core
@@ -25,18 +25,25 @@ type PMDPool struct {
 	pmds []*Switch
 }
 
-// NewPMDPool builds n PMD instances, each configured per cfg. Rule
+// NewPMDPool builds n PMD instances named "<name>/pmd<i>", each assembled
+// from the same options (so each PMD gets its own tier instances). Rule
 // installation is replicated to every PMD, as the shared classifier would
-// be visible to each.
-func NewPMDPool(n int, cfg Config) *PMDPool {
+// be visible to each. WithTiers is rejected (panics): its explicit tier
+// instances would be shared across PMDs and raced by ProcessBatch.
+func NewPMDPool(n int, name string, opts ...Option) *PMDPool {
+	var probe config
+	for _, o := range opts {
+		o(&probe)
+	}
+	if probe.tiersSet {
+		panic("dataplane: NewPMDPool cannot take WithTiers; each PMD needs its own tier instances")
+	}
 	if n < 1 {
 		n = 1
 	}
 	p := &PMDPool{}
 	for i := 0; i < n; i++ {
-		c := cfg
-		c.Name = fmt.Sprintf("%s/pmd%d", cfg.Name, i)
-		p.pmds = append(p.pmds, New(c))
+		p.pmds = append(p.pmds, New(fmt.Sprintf("%s/pmd%d", name, i), opts...))
 	}
 	return p
 }
@@ -65,32 +72,33 @@ func (p *PMDPool) ProcessKey(now uint64, k flow.Key) Decision {
 	return p.pmds[p.Steer(k)].ProcessKey(now, k)
 }
 
-// ProcessBatch distributes keys to their PMDs and processes each PMD's
-// share on its own goroutine — the actual parallelism of a multi-queue
-// NIC. It returns the per-PMD packet counts.
-func (p *PMDPool) ProcessBatch(now uint64, keys []flow.Key) []int {
-	buckets := make([][]flow.Key, len(p.pmds))
-	for _, k := range keys {
-		i := p.Steer(k)
-		buckets[i] = append(buckets[i], k)
+// ProcessBatch distributes keys to their PMDs by RSS hash and processes
+// each PMD's share on its own goroutine — the actual parallelism of a
+// multi-queue NIC. Decisions are written into out (grown if needed) in
+// input order and returned. Each PMD sees its subsequence in input order,
+// so the results are identical to a sequential ProcessKey loop.
+func (p *PMDPool) ProcessBatch(now uint64, keys []flow.Key, out []Decision) []Decision {
+	out = GrowDecisions(out, len(keys))
+	buckets := make([][]int, len(p.pmds)) // key indices per PMD, in input order
+	for i, k := range keys {
+		pmd := p.Steer(k)
+		buckets[pmd] = append(buckets[pmd], i)
 	}
 	var wg sync.WaitGroup
-	counts := make([]int, len(p.pmds))
-	for i, bucket := range buckets {
-		if len(bucket) == 0 {
+	for pmd, idxs := range buckets {
+		if len(idxs) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, bucket []flow.Key) {
+		go func(sw *Switch, idxs []int) {
 			defer wg.Done()
-			for _, k := range bucket {
-				p.pmds[i].ProcessKey(now, k)
+			for _, i := range idxs {
+				out[i] = sw.ProcessKey(now, keys[i])
 			}
-			counts[i] = len(bucket)
-		}(i, bucket)
+		}(p.pmds[pmd], idxs)
 	}
 	wg.Wait()
-	return counts
+	return out
 }
 
 // MasksPerPMD reports each PMD's megaflow mask count — the per-core view

@@ -3,7 +3,6 @@ package dataplane
 import (
 	"testing"
 
-	"policyinject/internal/cache"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
 )
@@ -12,7 +11,7 @@ import (
 // (hand-rolled here: importing internal/attack would cycle).
 func pmdPool(t testing.TB, n int) (*PMDPool, []flow.Key) {
 	t.Helper()
-	pool := NewPMDPool(n, Config{Name: "hv", EMC: cache.EMCConfig{Entries: -1}})
+	pool := NewPMDPool(n, "hv", WithoutEMC())
 	var ipRule flow.Match
 	ipRule.Key.Set(flow.FieldIPSrc, 0x0a000001)
 	ipRule.Mask.SetExact(flow.FieldIPSrc)
@@ -98,13 +97,14 @@ func TestPMDVictimPaysOnlyItsCore(t *testing.T) {
 
 func TestPMDProcessBatchParallel(t *testing.T) {
 	pool, keys := pmdPool(t, 4)
-	counts := pool.ProcessBatch(1, keys)
-	total := 0
-	for _, c := range counts {
-		total += c
+	out := pool.ProcessBatch(1, keys, nil)
+	if len(out) != len(keys) {
+		t.Fatalf("batch produced %d decisions for %d keys", len(out), len(keys))
 	}
-	if total != len(keys) {
-		t.Fatalf("batch processed %d of %d", total, len(keys))
+	for i, d := range out {
+		if d.Verdict.Verdict != flowtable.Deny {
+			t.Fatalf("covert key %d verdict %v, want deny", i, d.Verdict)
+		}
 	}
 	// Same end state as sequential processing.
 	sum := 0
@@ -114,8 +114,12 @@ func TestPMDProcessBatchParallel(t *testing.T) {
 	if sum != 512 {
 		t.Fatalf("masks after batch = %d", sum)
 	}
-	// Replay is idempotent and safe to run again in parallel.
-	pool.ProcessBatch(2, keys)
+	// Replay is idempotent and safe to run again in parallel; the output
+	// buffer is reused when large enough.
+	out2 := pool.ProcessBatch(2, keys, out)
+	if &out2[0] != &out[0] {
+		t.Error("ProcessBatch did not reuse the output buffer")
+	}
 	sum2 := 0
 	for _, m := range pool.MasksPerPMD() {
 		sum2 += m
@@ -125,8 +129,43 @@ func TestPMDProcessBatchParallel(t *testing.T) {
 	}
 }
 
+// TestPMDBatchMatchesSequential asserts the batch contract: RSS steering
+// is deterministic, and ProcessBatch on one pool yields decision-for-
+// decision the same results (and the same per-core cache state) as a
+// sequential ProcessKey loop on an identically-built pool.
+func TestPMDBatchMatchesSequential(t *testing.T) {
+	seqPool, keys := pmdPool(t, 4)
+	batchPool, _ := pmdPool(t, 4)
+
+	// Steering is a pure function of the key: identical across pools.
+	for _, k := range keys {
+		if seqPool.Steer(k) != batchPool.Steer(k) {
+			t.Fatal("RSS steering differs between identically-built pools")
+		}
+	}
+
+	seq := make([]Decision, 0, len(keys))
+	for _, k := range keys {
+		seq = append(seq, seqPool.ProcessKey(1, k))
+	}
+	batch := batchPool.ProcessBatch(1, keys, nil)
+
+	for i := range keys {
+		if seq[i] != batch[i] {
+			t.Fatalf("key %d: sequential %+v != batch %+v", i, seq[i], batch[i])
+		}
+	}
+	seqMasks := seqPool.MasksPerPMD()
+	batchMasks := batchPool.MasksPerPMD()
+	for i := range seqMasks {
+		if seqMasks[i] != batchMasks[i] {
+			t.Fatalf("pmd %d masks: sequential %d != batch %d", i, seqMasks[i], batchMasks[i])
+		}
+	}
+}
+
 func TestPMDPoolDefaults(t *testing.T) {
-	pool := NewPMDPool(0, Config{})
+	pool := NewPMDPool(0, "hv")
 	if pool.N() != 1 {
 		t.Fatalf("N = %d, want clamped 1", pool.N())
 	}

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"policyinject/internal/acl"
-	"policyinject/internal/cache"
 	"policyinject/internal/conntrack"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
@@ -16,11 +15,7 @@ import (
 // established both ways, deny the rest.
 func statefulSwitch(t testing.TB, ctCfg conntrack.Config) *Switch {
 	t.Helper()
-	sw := New(Config{
-		Name:      "sg-hv",
-		EMC:       cache.EMCConfig{Entries: -1},
-		Conntrack: &ctCfg,
-	})
+	sw := New("sg-hv", WithoutEMC(), WithConntrack(ctCfg))
 	group := &acl.ACL{
 		Comment:  "web-sg",
 		Stateful: true,
@@ -94,7 +89,7 @@ func TestStatefulDeniesOutsideWhitelist(t *testing.T) {
 }
 
 func TestStatefulRuleSetWithoutConntrackFailsClosed(t *testing.T) {
-	sw := New(Config{EMC: cache.EMCConfig{Entries: -1}}) // no conntrack
+	sw := New("sg-hv", WithoutEMC()) // no conntrack
 	group := &acl.ACL{Stateful: true}
 	group.Allow(acl.Entry{Src: netip.MustParsePrefix("10.0.0.0/8")})
 	rules, err := group.Compile()

@@ -1,0 +1,161 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"policyinject/internal/cache"
+	"policyinject/internal/flow"
+)
+
+// Tier is one layer of the fast-path cache hierarchy. The switch walks its
+// tiers in order on every packet: the first hit wins and the winning entry
+// is promoted into every earlier tier, so upper tiers behave as cheap
+// front caches for the authoritative megaflow store below them.
+//
+// The cost returned by Lookup is in "megaflow subtables visited" — the
+// paper's per-packet cost metric. Exact-match tiers (EMC, SMC) cost 0;
+// the TSS tier reports its scan length whether it hits or misses.
+type Tier interface {
+	// Name identifies the tier in counters and dumps ("emc", "smc",
+	// "megaflow", ...).
+	Name() string
+	// Path is the Decision.Path value reported for hits on this tier.
+	Path() Path
+	// Lookup consults the tier at logical time now.
+	Lookup(k flow.Key, now uint64) (ent *cache.Entry, cost int, ok bool)
+	// Install caches a reference produced by a lower tier or the slow
+	// path. Authoritative tiers (which mint their own entries via
+	// MegaflowInstaller) may treat this as a no-op.
+	Install(k flow.Key, ent *cache.Entry)
+	// Flush empties the tier (policy change invalidation).
+	Flush()
+	// EvictIdle removes entries idle since before deadline, returning the
+	// eviction count. Reference tiers that invalidate lazily return 0.
+	EvictIdle(deadline uint64) int
+	// Stats returns a snapshot of the tier's counters.
+	Stats() TierStats
+}
+
+// MegaflowInstaller is the capability of an authoritative tier: accepting
+// the wildcard megaflow the slow path synthesises on an upcall. The switch
+// installs upcall results into its last MegaflowInstaller tier and
+// promotes the returned entry into every tier above it.
+type MegaflowInstaller interface {
+	Tier
+	InsertMegaflow(match flow.Match, v cache.Verdict, now uint64) (*cache.Entry, error)
+}
+
+// TierStats is a uniform counter snapshot across tier implementations.
+type TierStats struct {
+	Name                             string
+	Hits, Misses, Inserts, Evictions uint64
+	Entries, Capacity                int
+	Masks                            int // distinct masks, for TSS tiers (0 otherwise)
+}
+
+func (ts TierStats) String() string {
+	s := fmt.Sprintf("%s: %d entries", ts.Name, ts.Entries)
+	if ts.Capacity > 0 {
+		s = fmt.Sprintf("%s: %d/%d entries", ts.Name, ts.Entries, ts.Capacity)
+	}
+	if ts.Masks > 0 {
+		s += fmt.Sprintf(", %d masks", ts.Masks)
+	}
+	return s + fmt.Sprintf(" (hit %d / miss %d)", ts.Hits, ts.Misses)
+}
+
+// EMCTier adapts the exact-match cache to the Tier interface.
+type EMCTier struct{ emc *cache.EMC }
+
+// NewEMCTier builds an EMC tier per cfg.
+func NewEMCTier(cfg cache.EMCConfig) *EMCTier { return &EMCTier{emc: cache.NewEMC(cfg)} }
+
+// EMC exposes the wrapped cache for inspection and experiments.
+func (t *EMCTier) EMC() *cache.EMC { return t.emc }
+
+func (t *EMCTier) Name() string { return "emc" }
+func (t *EMCTier) Path() Path   { return PathEMC }
+
+func (t *EMCTier) Lookup(k flow.Key, now uint64) (*cache.Entry, int, bool) {
+	ent, ok := t.emc.Lookup(k, now)
+	return ent, 0, ok
+}
+
+func (t *EMCTier) Install(k flow.Key, ent *cache.Entry) { t.emc.Insert(k, ent) }
+func (t *EMCTier) Flush()                               { t.emc.Flush() }
+func (t *EMCTier) EvictIdle(uint64) int                 { return 0 } // stale refs invalidate lazily
+
+func (t *EMCTier) Stats() TierStats {
+	return TierStats{
+		Name: t.Name(), Hits: t.emc.Hits, Misses: t.emc.Misses,
+		Inserts: t.emc.Inserts, Evictions: t.emc.Evictions,
+		Entries: t.emc.Len(), Capacity: t.emc.Cap(),
+	}
+}
+
+// SMCTier adapts the signature-match cache to the Tier interface.
+type SMCTier struct{ smc *cache.SMC }
+
+// NewSMCTier builds an SMC tier per cfg.
+func NewSMCTier(cfg cache.SMCConfig) *SMCTier { return &SMCTier{smc: cache.NewSMC(cfg)} }
+
+// SMC exposes the wrapped cache for inspection and experiments.
+func (t *SMCTier) SMC() *cache.SMC { return t.smc }
+
+func (t *SMCTier) Name() string { return "smc" }
+func (t *SMCTier) Path() Path   { return PathSMC }
+
+func (t *SMCTier) Lookup(k flow.Key, now uint64) (*cache.Entry, int, bool) {
+	ent, ok := t.smc.Lookup(k, now)
+	return ent, 0, ok
+}
+
+func (t *SMCTier) Install(k flow.Key, ent *cache.Entry) { t.smc.Insert(k, ent) }
+func (t *SMCTier) Flush()                               { t.smc.Flush() }
+func (t *SMCTier) EvictIdle(uint64) int                 { return 0 } // stale refs invalidate lazily
+
+func (t *SMCTier) Stats() TierStats {
+	return TierStats{
+		Name: t.Name(), Hits: t.smc.Hits, Misses: t.smc.Misses,
+		Inserts: t.smc.Inserts, Evictions: t.smc.Evictions,
+		Entries: t.smc.Len(), Capacity: t.smc.Cap(),
+	}
+}
+
+// MegaflowTier adapts the TSS megaflow cache to the Tier interface. It is
+// the authoritative tier: upcall results are installed here and promoted
+// upward.
+type MegaflowTier struct{ mfc *cache.Megaflow }
+
+// NewMegaflowTier builds a megaflow tier per cfg.
+func NewMegaflowTier(cfg cache.MegaflowConfig) *MegaflowTier {
+	return &MegaflowTier{mfc: cache.NewMegaflow(cfg)}
+}
+
+// Megaflow exposes the wrapped cache for inspection and experiments.
+func (t *MegaflowTier) Megaflow() *cache.Megaflow { return t.mfc }
+
+func (t *MegaflowTier) Name() string { return "megaflow" }
+func (t *MegaflowTier) Path() Path   { return PathMegaflow }
+
+func (t *MegaflowTier) Lookup(k flow.Key, now uint64) (*cache.Entry, int, bool) {
+	return t.mfc.Lookup(k, now)
+}
+
+// Install is a no-op: the megaflow tier mints its own entries via
+// InsertMegaflow.
+func (t *MegaflowTier) Install(flow.Key, *cache.Entry) {}
+
+func (t *MegaflowTier) Flush()                        { t.mfc.Flush() }
+func (t *MegaflowTier) EvictIdle(deadline uint64) int { return t.mfc.EvictIdle(deadline) }
+
+func (t *MegaflowTier) InsertMegaflow(match flow.Match, v cache.Verdict, now uint64) (*cache.Entry, error) {
+	return t.mfc.Insert(match, v, now)
+}
+
+func (t *MegaflowTier) Stats() TierStats {
+	return TierStats{
+		Name: t.Name(), Hits: t.mfc.Hits, Misses: t.mfc.Misses,
+		Entries: t.mfc.Len(), Masks: t.mfc.NumMasks(),
+	}
+}

@@ -16,7 +16,7 @@ func twoServer(t *testing.T) (*Fabric, netip.Addr, netip.Addr) {
 	t.Helper()
 	f := New()
 	for _, name := range []string{"server-1", "server-2"} {
-		sw := dataplane.New(dataplane.Config{Name: name})
+		sw := dataplane.New(name)
 		sw.AddPort(1, "pod")
 		sw.InstallRule(flowtable.Rule{Priority: 0, Action: flowtable.Action{Verdict: flowtable.Allow}})
 		if err := f.AddHost(name, sw); err != nil {
@@ -161,7 +161,7 @@ func TestTopologyErrors(t *testing.T) {
 
 func TestPolicyDenyNotDelivered(t *testing.T) {
 	f := New()
-	sw := dataplane.New(dataplane.Config{})
+	sw := dataplane.New("hv")
 	sw.InstallRule(flowtable.Rule{Priority: 0}) // deny all
 	f.AddHost("h", sw)
 	a := netip.MustParseAddr("172.16.0.1")

@@ -39,6 +39,7 @@ import (
 type Target interface {
 	InstallRule(r flowtable.Rule) *flowtable.Rule
 	ProcessKey(now uint64, k flow.Key) dataplane.Decision
+	ProcessBatch(now uint64, keys []flow.Key, out []dataplane.Decision) []dataplane.Decision
 }
 
 // Variant is a named dataplane configuration to evaluate.
@@ -52,34 +53,51 @@ type Variant struct {
 // Vanilla is the stock OVS model: EMC + unbounded megaflow TSS.
 func Vanilla() Variant {
 	return Variant{Name: "vanilla", Build: func() Target {
-		return dataplane.New(dataplane.Config{})
+		return dataplane.New("vanilla")
 	}}
 }
 
 // NoEMC models the kernel datapath (no exact-match cache).
 func NoEMC() Variant {
 	return Variant{Name: "no-emc", Build: func() Target {
-		return dataplane.New(dataplane.Config{EMC: cache.EMCConfig{Entries: -1}})
+		return dataplane.New("no-emc", dataplane.WithoutEMC())
+	}}
+}
+
+// SMC models OVS 2.10's signature-match cache in place of the EMC: vastly
+// more resident flows per byte, at one extra verification per hit. The
+// covert stream is far too small to thrash it, so warm victim flows stay
+// shielded even while the mask population explodes — a different
+// mask-scan economics than either EMC variant.
+func SMC() Variant {
+	return Variant{Name: "smc", Build: func() Target {
+		return dataplane.New("smc", dataplane.WithoutEMC(), dataplane.WithSMC(cache.SMCConfig{}))
+	}}
+}
+
+// EMCPlusSMC is the full OVS 2.10 userspace hierarchy: EMC, then SMC, then
+// the megaflow TSS.
+func EMCPlusSMC() Variant {
+	return Variant{Name: "emc+smc", Build: func() Target {
+		return dataplane.New("emc+smc", dataplane.WithSMC(cache.SMCConfig{}))
 	}}
 }
 
 // SortedTSS enables hit-count subtable ordering.
 func SortedTSS() Variant {
 	return Variant{Name: "sorted-tss", Build: func() Target {
-		return dataplane.New(dataplane.Config{
-			EMC:      cache.EMCConfig{Entries: -1},
-			Megaflow: cache.MegaflowConfig{SortByHits: true, SortEvery: 256},
-		})
+		return dataplane.New("sorted-tss",
+			dataplane.WithoutEMC(),
+			dataplane.WithMegaflow(cache.MegaflowConfig{SortByHits: true, SortEvery: 256}))
 	}}
 }
 
 // MaskCap rejects megaflows beyond n distinct masks.
 func MaskCap(n int) Variant {
 	return Variant{Name: fmt.Sprintf("mask-cap-%d", n), Build: func() Target {
-		return dataplane.New(dataplane.Config{
-			EMC:      cache.EMCConfig{Entries: -1},
-			Megaflow: cache.MegaflowConfig{MaxMasks: n},
-		})
+		return dataplane.New("mask-cap",
+			dataplane.WithoutEMC(),
+			dataplane.WithMegaflow(cache.MegaflowConfig{MaxMasks: n}))
 	}}
 }
 
@@ -88,13 +106,12 @@ func MaskCap(n int) Variant {
 // the front of the scan.
 func MaskCapLRUSorted(n int) Variant {
 	return Variant{Name: fmt.Sprintf("cap-lru-sort-%d", n), Build: func() Target {
-		return dataplane.New(dataplane.Config{
-			EMC: cache.EMCConfig{Entries: -1},
-			Megaflow: cache.MegaflowConfig{
+		return dataplane.New("cap-lru-sort",
+			dataplane.WithoutEMC(),
+			dataplane.WithMegaflow(cache.MegaflowConfig{
 				MaxMasks: n, MaskEvictLRU: true,
 				SortByHits: true, SortEvery: 256,
-			},
-		})
+			}))
 	}}
 }
 
@@ -106,10 +123,9 @@ func MaskCapLRUSorted(n int) Variant {
 // ladder, so the attack becomes a connection-setup DoS.
 func Stateful() Variant {
 	return Variant{Name: "stateful-sg", Build: func() Target {
-		return dataplane.New(dataplane.Config{
-			EMC:       cache.EMCConfig{Entries: -1},
-			Conntrack: &conntrack.Config{},
-		})
+		return dataplane.New("stateful-sg",
+			dataplane.WithoutEMC(),
+			dataplane.WithConntrack(conntrack.Config{}))
 	}}
 }
 

@@ -40,6 +40,10 @@ type Fig3Config struct {
 	// Kubernetes demo exercises (the kernel datapath has no EMC; see
 	// DESIGN.md). Set to +N for the userspace-datapath ablation.
 	EMCEntries int
+	// SMC enables the OVS 2.10 signature-match cache tier — the
+	// post-paper hierarchy variant whose huge fingerprint table shields
+	// warm flows from the mask scan.
+	SMC bool
 	// SortByHits enables the sorted-TSS mitigation in the megaflow cache.
 	SortByHits bool
 	// CostSamples is the per-tick measurement batch; default 64.
@@ -106,10 +110,13 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	cfg.setDefaults()
 
 	cluster := cms.NewCluster()
-	cluster.SwitchConfig = dataplane.Config{
-		EMC:        cache.EMCConfig{Entries: cfg.EMCEntries},
-		Megaflow:   cache.MegaflowConfig{SortByHits: cfg.SortByHits},
-		Classifier: classifier.Config{},
+	cluster.SwitchOpts = []dataplane.Option{
+		dataplane.WithEMC(cache.EMCConfig{Entries: cfg.EMCEntries}),
+		dataplane.WithMegaflow(cache.MegaflowConfig{SortByHits: cfg.SortByHits}),
+		dataplane.WithClassifier(classifier.Config{}),
+	}
+	if cfg.SMC {
+		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithSMC(cache.SMCConfig{}))
 	}
 	if _, err := cluster.AddNode("server-1"); err != nil {
 		return nil, err

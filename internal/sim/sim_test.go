@@ -37,7 +37,7 @@ func TestGbpsConversions(t *testing.T) {
 }
 
 func TestMeasureCostSane(t *testing.T) {
-	sw := dataplane.New(dataplane.Config{})
+	sw := dataplane.New("cached")
 	sw.InstallRule(flowtable.Rule{Priority: 0, Action: flowtable.Action{Verdict: flowtable.Allow}})
 	gen := traffic.NewVictim(traffic.VictimConfig{
 		Src: netip.MustParseAddr("10.0.0.1"),
