@@ -370,3 +370,99 @@ func TestEntriesEnumeration(t *testing.T) {
 		t.Fatalf("Entries() len = %d", got)
 	}
 }
+
+// TestEMCInsertProbDeterministic: probabilistic insertion draws from a
+// seeded PRNG, so the same seed admits the same flows in every run, and
+// the admit rate lands near 1/InsertProb.
+func TestEMCInsertProbDeterministic(t *testing.T) {
+	admitted := func(seed uint64) []int {
+		e := NewEMC(EMCConfig{Entries: 1 << 14, InsertProb: 10, Seed: seed})
+		var got []int
+		for i := 0; i < 2000; i++ {
+			e.Insert(key(uint64(i), 0), mf(allow))
+		}
+		for i := 0; i < 2000; i++ {
+			if _, ok := e.Lookup(key(uint64(i), 0), 1); ok {
+				got = append(got, i)
+			}
+		}
+		return got
+	}
+	a, b := admitted(7), admitted(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different admit counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different admit sets at %d", i)
+		}
+	}
+	// ~1/10 of 2000 = 200; allow generous slack for a 64-bit xorshift.
+	if len(a) < 120 || len(a) > 300 {
+		t.Errorf("admit rate = %d/2000, want ≈200", len(a))
+	}
+	c := admitted(8)
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds drew identical admit sets")
+		}
+	}
+}
+
+// TestEMCInsertProbOneAlwaysInserts: InsertProb = 1 is "insert always",
+// the explicit opt-out from the SMC-forced default.
+func TestEMCInsertProbOneAlwaysInserts(t *testing.T) {
+	e := NewEMC(EMCConfig{Entries: 100, InsertProb: 1})
+	for i := 0; i < 50; i++ {
+		e.Insert(key(uint64(i), 0), mf(allow))
+	}
+	if e.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", e.Len())
+	}
+}
+
+// TestMegaflowInsertReplaceRefreshesLastHit is the regression test for the
+// replace path: re-installing an existing masked key (revalidation after a
+// policy change does this) must refresh LastHit as well as Added, or the
+// just-refreshed entry is evicted by the very next EvictIdle sweep.
+func TestMegaflowInsertReplaceRefreshesLastHit(t *testing.T) {
+	m := NewMegaflow(MegaflowConfig{})
+	match := prefixMatch(0x0a000000, 8)
+	if _, err := m.Insert(match, allow, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Much later, the same masked key is re-installed (fresh verdict).
+	ent, err := m.Insert(match, deny, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent.LastHit != 100 {
+		t.Fatalf("replace left LastHit = %d, want 100", ent.LastHit)
+	}
+	// The idle sweep right after the refresh must keep the entry.
+	if evicted := m.EvictIdle(90); evicted != 0 {
+		t.Fatalf("EvictIdle evicted %d just-refreshed entries", evicted)
+	}
+	if _, _, ok := m.Lookup(key(0x0a000001, 0), 101); !ok {
+		t.Fatal("refreshed entry gone")
+	}
+}
+
+// TestEMCInsertProbPrecedence: an explicit probabilistic policy (even
+// "insert always") overrides the periodic InsertEvery throttle.
+func TestEMCInsertProbPrecedence(t *testing.T) {
+	e := NewEMC(EMCConfig{Entries: 100, InsertProb: 1, InsertEvery: 5})
+	for i := 0; i < 50; i++ {
+		e.Insert(key(uint64(i), 0), mf(allow))
+	}
+	if e.Len() != 50 {
+		t.Fatalf("Len = %d, want 50 (InsertProb=1 must beat InsertEvery)", e.Len())
+	}
+}

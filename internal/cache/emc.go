@@ -14,20 +14,39 @@
 // masks, and a tenant can mint masks at will via policy injection.
 package cache
 
-import "policyinject/internal/flow"
+import (
+	"math/bits"
+
+	"policyinject/internal/burst"
+	"policyinject/internal/flow"
+)
 
 // EMCConfig tunes the exact-match cache.
 type EMCConfig struct {
 	// Entries caps the number of cached microflows. 0 means the OVS
 	// default of 8192. Negative disables the EMC.
 	Entries int
-	// InsertEvery inserts only every Nth missed flow (OVS's
-	// emc-insert-inv-prob). 0 or 1 inserts always.
+	// InsertEvery inserts only every Nth missed flow — the strictly
+	// periodic (deterministic) insertion throttle. 0 or 1 inserts always.
 	InsertEvery int
+	// InsertProb, when greater than 1, inserts each candidate flow with
+	// probability 1/InsertProb, drawn from a per-cache deterministic PRNG
+	// — OVS's emc-insert-inv-prob, which OVS ≥ 2.7 defaults to 100 and
+	// which enabling the SMC forces on (see dataplane.New). 1 inserts
+	// always; 0 defers to InsertEvery. Takes precedence over InsertEvery
+	// when both are set.
+	InsertProb int
+	// Seed perturbs the insertion PRNG so distinct switches draw distinct
+	// but reproducible sequences; experiments stay deterministic.
+	Seed uint64
 }
 
 // DefaultEMCEntries matches the OVS default EMC size.
 const DefaultEMCEntries = 8192
+
+// DefaultEMCInsertProb is the OVS emc-insert-inv-prob default (insert one
+// candidate flow in 100), applied when the SMC tier is enabled.
+const DefaultEMCInsertProb = 100
 
 type emcEntry struct {
 	flow *Entry // referenced megaflow entry
@@ -41,7 +60,8 @@ type EMC struct {
 	max     int
 	entries map[flow.Key]*emcEntry
 	keys    []flow.Key // dense set for eviction victim selection
-	missSeq int        // insertion probability counter
+	missSeq int        // periodic-insertion counter (InsertEvery)
+	insRng  uint64     // probabilistic-insertion PRNG state (InsertProb)
 	evictRR uint64     // cheap deterministic "random" victim cursor
 
 	// Stats
@@ -57,11 +77,20 @@ func NewEMC(cfg EMCConfig) *EMC {
 	if max < 0 {
 		max = 0
 	}
-	return &EMC{
+	e := &EMC{
 		cfg:     cfg,
 		max:     max,
 		entries: make(map[flow.Key]*emcEntry, max),
+		// Splitmix-style seed scramble: distinct seeds (and seed 0) all
+		// start from well-mixed, reproducible PRNG states.
+		insRng: (cfg.Seed + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9,
 	}
+	if e.insRng == 0 {
+		// Zero is xorshift64's sticky fixed point (and 0 % p == 0 would
+		// insert always); nudge the one seed that scrambles to it.
+		e.insRng = 0x9e3779b97f4a7c15
+	}
+	return e
 }
 
 // Cap returns the configured capacity (0 when disabled).
@@ -97,6 +126,38 @@ func (e *EMC) Lookup(k flow.Key, now uint64) (*Entry, bool) {
 	return ent.flow, true
 }
 
+// LookupBatch consults the cache for every key index set in miss at
+// logical time now: a hit writes ents[i] and clears the bit, a miss keeps
+// it. EMC lookups cost no subtable scans, so costs are untouched. Counter
+// effects equal the scalar Lookup sequence over the same keys.
+func (e *EMC) LookupBatch(keys []flow.Key, now uint64, ents []*Entry, miss *burst.Bitmap) {
+	if e.max == 0 {
+		return
+	}
+	words := miss.Words()
+	for wi := range words {
+		w := words[wi]
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if f, ok := e.Lookup(keys[i], now); ok {
+				ents[i] = f
+				miss.Clear(i)
+			}
+		}
+	}
+}
+
+// AccountRun bills n additional hits of resident entry f without
+// re-probing — the same-flow run coalescing fast path, equivalent to n
+// Lookup calls that hit f.
+func (e *EMC) AccountRun(f *Entry, n int, now uint64) {
+	nn := uint64(n)
+	e.Hits += nn
+	f.Hits += nn
+	f.LastHit = now
+}
+
 // Insert caches a reference to megaflow entry f for exact key k, applying
 // the configured insertion probability and evicting a pseudo-random victim
 // when full.
@@ -104,7 +165,21 @@ func (e *EMC) Insert(k flow.Key, f *Entry) {
 	if e.max == 0 || f == nil {
 		return
 	}
-	if e.cfg.InsertEvery > 1 {
+	if e.cfg.InsertProb > 0 {
+		// Probabilistic policy set: 1 inserts always, > 1 draws. Either
+		// way it takes precedence over InsertEvery, as documented.
+		if e.cfg.InsertProb > 1 {
+			// xorshift64 draw: deterministic for a given Seed, so
+			// experiment runs with probabilistic insertion stay
+			// reproducible.
+			e.insRng ^= e.insRng << 13
+			e.insRng ^= e.insRng >> 7
+			e.insRng ^= e.insRng << 17
+			if e.insRng%uint64(e.cfg.InsertProb) != 0 {
+				return
+			}
+		}
+	} else if e.cfg.InsertEvery > 1 {
 		e.missSeq++
 		if e.missSeq%e.cfg.InsertEvery != 0 {
 			return

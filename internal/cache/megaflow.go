@@ -3,9 +3,11 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
+	"policyinject/internal/burst"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
 )
@@ -135,6 +137,95 @@ func (m *Megaflow) Lookup(k flow.Key, now uint64) (*Entry, int, bool) {
 	return nil, scanned, false
 }
 
+// LookupBatch is the burst-vectorized lookup: the loop is inverted so each
+// subtable is visited once per *burst* — one mask.Apply plus one hash probe
+// per still-unresolved key, bitmap-masked — instead of the full subtable
+// list being re-walked per packet (the dpcls_lookup structure of the OVS
+// userspace datapath). Per subtable the mask and hash table stay hot in
+// cache across the whole burst, which is where the win over the scalar
+// walk comes from once the attacker has exploded the mask count.
+//
+// For every key index set in miss: a hit writes ents[i], adds the scan
+// depth to costs[i] and clears the bit; a miss adds the full scan length
+// to costs[i] and keeps the bit. Counter and per-entry effects equal the
+// scalar Lookup sequence over the same keys. With SortByHits enabled the
+// sweep falls back to per-key scalar lookups, because re-sort boundaries
+// are clocked per lookup and the inverted loop would shift them mid-burst.
+func (m *Megaflow) LookupBatch(keys []flow.Key, now uint64, ents []*Entry, costs []int, miss *burst.Bitmap) {
+	if m.cfg.SortByHits {
+		miss.ForEach(func(i int) {
+			ent, cost, ok := m.Lookup(keys[i], now)
+			costs[i] += cost
+			if ok {
+				ents[i] = ent
+				miss.Clear(i)
+			}
+		})
+		return
+	}
+	nSub := len(m.subtables)
+	for si, st := range m.subtables {
+		if miss.Empty() {
+			break
+		}
+		pos := si + 1
+		mask := st.mask
+		tbl := st.entries
+		words := miss.Words()
+		for wi := range words {
+			w := words[wi]
+			for w != 0 {
+				i := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				ent, ok := tbl[mask.Apply(keys[i])]
+				if !ok {
+					continue
+				}
+				ent.Hits++
+				ent.LastHit = now
+				st.hits++
+				st.lastHit = now
+				m.Lookups++
+				m.Hits++
+				m.MasksScanned += uint64(pos)
+				ents[i] = ent
+				costs[i] += pos
+				miss.Clear(i)
+			}
+		}
+	}
+	// Survivors paid the full sweep: bill them exactly as scalar misses.
+	if left := uint64(miss.Count()); left > 0 {
+		m.Lookups += left
+		m.Misses += left
+		m.MasksScanned += left * uint64(nSub)
+		miss.ForEach(func(i int) { costs[i] += nSub })
+	}
+}
+
+// AccountRun bills n additional lookups that hit ent at scan depth cost
+// without re-probing — the same-flow run coalescing fast path, equivalent
+// to n Lookup calls for a key resident at that depth. Returns false when
+// hit-count re-sorting is enabled: resorts are clocked per lookup, so
+// coalesced runs would shift the re-sort boundary and the caller must fall
+// back to real lookups.
+func (m *Megaflow) AccountRun(ent *Entry, n int, cost int, now uint64) bool {
+	if m.cfg.SortByHits {
+		return false
+	}
+	nn := uint64(n)
+	m.Lookups += nn
+	m.Hits += nn
+	m.MasksScanned += nn * uint64(cost)
+	ent.Hits += nn
+	ent.LastHit = now
+	if st := m.byMask[ent.Match.Mask]; st != nil {
+		st.hits += nn
+		st.lastHit = now
+	}
+	return true
+}
+
 func (m *Megaflow) maybeResort() {
 	if !m.cfg.SortByHits {
 		return
@@ -172,6 +263,9 @@ func (m *Megaflow) Insert(match flow.Match, v Verdict, now uint64) (*Entry, erro
 	if old, ok := st.entries[match.Key]; ok {
 		old.Verdict = v
 		old.Added = now
+		// Refresh the idle clock too: a just-replaced entry is as live as a
+		// just-inserted one, and must not be swept by the next EvictIdle.
+		old.LastHit = now
 		return old, nil
 	}
 	if m.limit > 0 && m.nEntries >= m.limit {

@@ -1,6 +1,11 @@
 package cache
 
-import "policyinject/internal/flow"
+import (
+	"math/bits"
+
+	"policyinject/internal/burst"
+	"policyinject/internal/flow"
+)
 
 // SMC is the signature-match cache OVS 2.10 added between the EMC and the
 // megaflow TSS: a large, cheap fingerprint→megaflow map. Where the EMC
@@ -56,8 +61,9 @@ func NewSMC(cfg SMCConfig) *SMC {
 		return &SMC{cfg: cfg}
 	}
 	// Round up to a power of two so fingerprints are a simple bit mask.
+	// (Capped below the shift-overflow point; nobody needs 2^62 slots.)
 	n := 1
-	for n < max {
+	for n < max && n < 1<<62 {
 		n <<= 1
 	}
 	return &SMC{cfg: cfg, max: n, fpMask: uint64(n - 1), slots: make(map[uint64]smcSlot)}
@@ -70,7 +76,10 @@ func (s *SMC) Cap() int { return s.max }
 func (s *SMC) Len() int { return len(s.slots) }
 
 func (s *SMC) index(k flow.Key) (fp uint64, sig uint16) {
-	h := k.Hash()
+	return s.indexHash(k.Hash())
+}
+
+func (s *SMC) indexHash(h uint64) (fp uint64, sig uint16) {
 	return h & s.fpMask, uint16(h >> 48)
 }
 
@@ -82,7 +91,17 @@ func (s *SMC) Lookup(k flow.Key, now uint64) (*Entry, bool) {
 	if s.max == 0 {
 		return nil, false
 	}
-	fp, sig := s.index(k)
+	return s.LookupHashed(k, k.Hash(), now)
+}
+
+// LookupHashed is Lookup with the key's flow hash already computed — the
+// batched datapath hashes each key once at burst entry and every
+// hash-consuming tier reuses that value instead of re-hashing per probe.
+func (s *SMC) LookupHashed(k flow.Key, h uint64, now uint64) (*Entry, bool) {
+	if s.max == 0 {
+		return nil, false
+	}
+	fp, sig := s.indexHash(h)
 	slot, ok := s.slots[fp]
 	if !ok || slot.sig != sig {
 		s.Misses++
@@ -103,6 +122,39 @@ func (s *SMC) Lookup(k flow.Key, now uint64) (*Entry, bool) {
 	slot.ent.LastHit = now
 	s.Hits++
 	return slot.ent, true
+}
+
+// LookupBatch consults the cache for every key index set in miss at
+// logical time now, reusing the burst's precomputed flow hashes: a hit
+// writes ents[i] and clears the bit, a miss keeps it. Signature-match
+// lookups cost no subtable scans, so costs are untouched. Counter effects
+// equal the scalar Lookup sequence over the same keys.
+func (s *SMC) LookupBatch(keys []flow.Key, hashes []uint64, now uint64, ents []*Entry, miss *burst.Bitmap) {
+	if s.max == 0 {
+		return
+	}
+	words := miss.Words()
+	for wi := range words {
+		w := words[wi]
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if ent, ok := s.LookupHashed(keys[i], hashes[i], now); ok {
+				ents[i] = ent
+				miss.Clear(i)
+			}
+		}
+	}
+}
+
+// AccountRun bills n additional hits of resident entry f without
+// re-probing — the same-flow run coalescing fast path, equivalent to n
+// Lookup calls that hit f.
+func (s *SMC) AccountRun(f *Entry, n int, now uint64) {
+	nn := uint64(n)
+	s.Hits += nn
+	f.Hits += nn
+	f.LastHit = now
 }
 
 // Insert caches a reference to megaflow entry f for key k. A colliding

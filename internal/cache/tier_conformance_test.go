@@ -7,6 +7,7 @@ package cache_test
 import (
 	"testing"
 
+	"policyinject/internal/burst"
 	"policyinject/internal/cache"
 	"policyinject/internal/dataplane"
 	"policyinject/internal/flow"
@@ -180,6 +181,201 @@ func TestTierConformance(t *testing.T) {
 				})
 			}
 		})
+	}
+}
+
+// TestBatchTierConformance pins the BatchTier contract for every tier
+// that implements it: LookupBatch over a burst must be observably
+// identical to the scalar Lookup sequence over the same keys — same
+// hit set, same verdicts, same per-key costs, same tier counters.
+func TestBatchTierConformance(t *testing.T) {
+	mkKeys := func() []flow.Key {
+		keys := make([]flow.Key, 0, 12)
+		for i := 0; i < 12; i++ {
+			keys = append(keys, confKey(uint64(0x0a000001+i), uint64(80+i%3)))
+		}
+		return keys
+	}
+	for name, build := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			seqFix, batchFix := build(), build()
+			bt, ok := batchFix.tier.(dataplane.BatchTier)
+			if !ok {
+				t.Fatalf("tier %s does not implement BatchTier", name)
+			}
+			keys := mkKeys()
+			// Make a subset resident in both fixtures, identically.
+			resident := []int{0, 3, 4, 9, 11}
+			for _, i := range resident {
+				seqFix.seed(t, keys[i], allowVerdict(), 1)
+				batchFix.seed(t, keys[i], allowVerdict(), 1)
+			}
+
+			// Scalar reference walk.
+			type res struct {
+				ok      bool
+				cost    int
+				verdict cache.Verdict
+			}
+			seq := make([]res, len(keys))
+			for i, k := range keys {
+				ent, cost, ok := seqFix.tier.Lookup(k, 7)
+				seq[i] = res{ok: ok, cost: cost}
+				if ok {
+					seq[i].verdict = ent.Verdict
+				}
+			}
+
+			// Vectorized walk over the same burst.
+			var miss burst.Bitmap
+			miss.Reset(len(keys))
+			miss.SetAll()
+			ents := make([]*cache.Entry, len(keys))
+			costs := make([]int, len(keys))
+			bt.LookupBatch(keys, flow.HashKeys(keys, nil), 7, ents, costs, &miss)
+
+			for i := range keys {
+				gotOK := !miss.Test(i)
+				if gotOK != seq[i].ok {
+					t.Errorf("key %d: batch hit=%v, scalar hit=%v", i, gotOK, seq[i].ok)
+					continue
+				}
+				if costs[i] != seq[i].cost {
+					t.Errorf("key %d: batch cost=%d, scalar cost=%d", i, costs[i], seq[i].cost)
+				}
+				if gotOK {
+					if ents[i] == nil {
+						t.Errorf("key %d: hit without entry", i)
+					} else if ents[i].Verdict != seq[i].verdict {
+						t.Errorf("key %d: batch verdict=%v, scalar=%v", i, ents[i].Verdict, seq[i].verdict)
+					}
+				}
+			}
+			if a, b := seqFix.tier.Stats(), bt.Stats(); a != b {
+				t.Errorf("stats diverge:\n scalar %+v\n batch  %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestMegaflowBatchSweepMultiSubtable drives the inverted subtable sweep
+// through a genuinely multi-mask table (distinct prefix lengths at
+// distinct scan depths) and checks batch == sequential on hits at every
+// depth, full-scan misses, costs, and cache counters.
+func TestMegaflowBatchSweepMultiSubtable(t *testing.T) {
+	// Disjoint prefixes, one per subtable, in insertion (= scan) order:
+	// a key matching the /24 must miss the /8 and /16 first, so it pays
+	// scan depth 3.
+	prefixes := []struct {
+		ip   uint64
+		plen int
+	}{
+		{0x0a000000, 8},  // 10.0.0.0/8      depth 1
+		{0xc0a80000, 16}, // 192.168.0.0/16  depth 2
+		{0xac100500, 24}, // 172.16.5.0/24   depth 3
+		{0x08080808, 32}, // 8.8.8.8/32      depth 4
+	}
+	build := func() *cache.Megaflow {
+		m := cache.NewMegaflow(cache.MegaflowConfig{})
+		for _, p := range prefixes {
+			var match flow.Match
+			match.Key.Set(flow.FieldIPSrc, p.ip)
+			match.Mask.SetPrefix(flow.FieldIPSrc, p.plen)
+			if _, err := m.Insert(match, allowVerdict(), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	keyFor := func(ip uint64) flow.Key {
+		var k flow.Key
+		k.Set(flow.FieldIPSrc, ip)
+		return k
+	}
+	// Hits at every depth plus full-scan misses, interleaved.
+	keys := []flow.Key{
+		keyFor(0x0a7f0001), // depth 1
+		keyFor(0xc0a80101), // depth 2
+		keyFor(0x0b000000), // miss (full scan)
+		keyFor(0xac100507), // depth 3
+		keyFor(0x08080808), // depth 4
+		keyFor(0xdeadbeef), // miss
+		keyFor(0x0a7f0002), // depth 1 again
+	}
+	seqM, batchM := build(), build()
+	type res struct {
+		ok   bool
+		cost int
+	}
+	seq := make([]res, len(keys))
+	for i, k := range keys {
+		_, cost, ok := seqM.Lookup(k, 9)
+		seq[i] = res{ok: ok, cost: cost}
+	}
+	var miss burst.Bitmap
+	miss.Reset(len(keys))
+	miss.SetAll()
+	ents := make([]*cache.Entry, len(keys))
+	costs := make([]int, len(keys))
+	batchM.LookupBatch(keys, 9, ents, costs, &miss)
+	for i := range keys {
+		if got := !miss.Test(i); got != seq[i].ok || costs[i] != seq[i].cost {
+			t.Errorf("key %d: batch (hit=%v cost=%d) vs scalar (hit=%v cost=%d)",
+				i, !miss.Test(i), costs[i], seq[i].ok, seq[i].cost)
+		}
+	}
+	if seqM.Lookups != batchM.Lookups || seqM.Hits != batchM.Hits ||
+		seqM.Misses != batchM.Misses || seqM.MasksScanned != batchM.MasksScanned {
+		t.Errorf("counters diverge: scalar {L%d H%d M%d S%d} batch {L%d H%d M%d S%d}",
+			seqM.Lookups, seqM.Hits, seqM.Misses, seqM.MasksScanned,
+			batchM.Lookups, batchM.Hits, batchM.Misses, batchM.MasksScanned)
+	}
+}
+
+// TestMegaflowBatchSortedTSSFallback: with hit-count re-sorting enabled
+// the sweep must fall back to scalar per-key semantics (resort boundaries
+// are clocked per lookup), so batch == sequential still holds exactly.
+func TestMegaflowBatchSortedTSSFallback(t *testing.T) {
+	build := func() *cache.Megaflow {
+		m := cache.NewMegaflow(cache.MegaflowConfig{SortByHits: true, SortEvery: 4})
+		for i, plen := range []int{8, 16, 24} {
+			var match flow.Match
+			match.Key.Set(flow.FieldIPSrc, uint64(0x0a000000+i<<8))
+			match.Mask.SetPrefix(flow.FieldIPSrc, plen)
+			if _, err := m.Insert(match, allowVerdict(), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	var k flow.Key
+	k.Set(flow.FieldIPSrc, 0x0a000001)
+	keys := make([]flow.Key, 16)
+	for i := range keys {
+		keys[i] = k // hammer one key so the resort threshold crosses mid-burst
+	}
+	seqM, batchM := build(), build()
+	seqCosts := make([]int, len(keys))
+	for i := range keys {
+		_, cost, _ := seqM.Lookup(keys[i], 3)
+		seqCosts[i] = cost
+	}
+	var miss burst.Bitmap
+	miss.Reset(len(keys))
+	miss.SetAll()
+	ents := make([]*cache.Entry, len(keys))
+	costs := make([]int, len(keys))
+	batchM.LookupBatch(keys, 3, ents, costs, &miss)
+	if !miss.Empty() {
+		t.Fatal("resident key missed under SortByHits")
+	}
+	for i := range keys {
+		if costs[i] != seqCosts[i] {
+			t.Errorf("key %d: batch cost=%d, scalar cost=%d (resort boundary shifted)", i, costs[i], seqCosts[i])
+		}
+	}
+	if seqM.MasksScanned != batchM.MasksScanned {
+		t.Errorf("MasksScanned diverge: %d vs %d", seqM.MasksScanned, batchM.MasksScanned)
 	}
 }
 

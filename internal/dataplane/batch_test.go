@@ -1,0 +1,235 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"policyinject/internal/acl"
+	"policyinject/internal/cache"
+	"policyinject/internal/conntrack"
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+
+	"net/netip"
+)
+
+// scalarOnly hides a tier's batch capability: the wrapper's method set is
+// exactly Tier, so the switch's generic walk must take the per-key
+// fallback. scalarInstaller does the same while keeping the authoritative
+// tier's install capability.
+type scalarOnly struct{ Tier }
+
+type scalarInstaller struct{ MegaflowInstaller }
+
+// batchEq fatals unless the two switches produced identical decisions and
+// identical switch-level counters.
+func batchEq(t *testing.T, label string, seq, batch []Decision, seqSW, batchSW *Switch) {
+	t.Helper()
+	for i := range seq {
+		if seq[i] != batch[i] {
+			t.Fatalf("%s: key %d: sequential %+v != batch %+v", label, i, seq[i], batch[i])
+		}
+	}
+	a, b := seqSW.Counters(), batchSW.Counters()
+	if a.Packets != b.Packets || a.Upcalls != b.Upcalls || a.Allowed != b.Allowed ||
+		a.Denied != b.Denied || a.ParseError != b.ParseError || a.InstallErr != b.InstallErr {
+		t.Fatalf("%s: counters diverge:\n sequential %+v\n batch      %+v", label, a, b)
+	}
+	if len(a.TierHits) != len(b.TierHits) {
+		t.Fatalf("%s: tier count diverges", label)
+	}
+	for i := range a.TierHits {
+		if a.TierHits[i] != b.TierHits[i] {
+			t.Fatalf("%s: tier %q hits: sequential %d != batch %d",
+				label, a.TierHits[i].Tier, a.TierHits[i].Hits, b.TierHits[i].Hits)
+		}
+	}
+}
+
+// TestBatchMatchesSequentialStateful runs the full switch — conntrack
+// recirculation included — over staged bursts (connection setup, replies,
+// established data) and checks ProcessBatch produces exactly the
+// decisions and counters of a sequential ProcessKey loop.
+func TestBatchMatchesSequentialStateful(t *testing.T) {
+	build := func() *Switch {
+		sw := New("sg-hv", WithoutEMC(), WithConntrack(conntrack.Config{}))
+		group := &acl.ACL{Stateful: true}
+		group.Allow(acl.Entry{Src: netip.MustParsePrefix("10.0.0.0/8")})
+		group.Allow(acl.Entry{Proto: 6, DstPort: acl.Port(443)})
+		rules, err := group.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rules {
+			sw.InstallRule(r)
+		}
+		return sw
+	}
+	seqSW, batchSW := build(), build()
+
+	const flows = 16
+	fwd := make([]flow.Key, flows)
+	rev := make([]flow.Key, flows)
+	for i := 0; i < flows; i++ {
+		fwd[i] = conntrack.MustTuple("10.1.2.3", "172.16.0.1", 6, uint16(40000+i), 443).Key(1)
+		rev[i] = conntrack.MustTuple("172.16.0.1", "10.1.2.3", 6, 443, uint16(40000+i)).Key(2)
+	}
+	outside := conntrack.MustTuple("192.168.9.9", "172.16.0.1", 6, 5555, 22).Key(1)
+
+	bursts := [][]flow.Key{
+		fwd, // SYNs: all recirculate, +new, commit
+		rev, // replies: recirculate, established
+		append(append([]flow.Key{}, fwd...), outside), // data + a denied stray
+	}
+	var seqOut, batchOut []Decision
+	for bi, burstKeys := range bursts {
+		now := uint64(bi + 1)
+		seqOut = seqOut[:0]
+		for _, k := range burstKeys {
+			seqOut = append(seqOut, seqSW.ProcessKey(now, k))
+		}
+		batchOut = batchSW.ProcessBatch(now, burstKeys, batchOut)
+		batchEq(t, fmt.Sprintf("burst %d", bi), seqOut, batchOut, seqSW, batchSW)
+	}
+	if seqSW.Conntrack().Len() != batchSW.Conntrack().Len() {
+		t.Fatalf("conntrack table size diverges: %d vs %d",
+			seqSW.Conntrack().Len(), batchSW.Conntrack().Len())
+	}
+}
+
+// TestBatchFallbackForNonBatchTiers pins the compatibility contract: a
+// WithTiers hierarchy whose tiers do not implement BatchTier still
+// classifies bursts correctly — the walk probes them key by key.
+func TestBatchFallbackForNonBatchTiers(t *testing.T) {
+	build := func() *Switch {
+		sw := New("custom", WithTiers(
+			scalarOnly{NewEMCTier(cache.EMCConfig{})},
+			scalarInstaller{NewMegaflowTier(cache.MegaflowConfig{})},
+		))
+		var m flow.Match
+		m.Key.Set(flow.FieldIPSrc, 0x0a000000)
+		m.Mask.SetPrefix(flow.FieldIPSrc, 8)
+		sw.InstallRule(flowtable.Rule{Match: m, Priority: 10, Action: flowtable.Action{Verdict: flowtable.Allow}})
+		sw.InstallRule(flowtable.Rule{Priority: 0})
+		return sw
+	}
+	if _, isBatch := build().Tiers()[0].(BatchTier); isBatch {
+		t.Fatal("test fixture broken: wrapped tier still exposes BatchTier")
+	}
+	seqSW, batchSW := build(), build()
+	keys := make([]flow.Key, 0, 48)
+	for i := 0; i < 48; i++ {
+		keys = append(keys, tcpKey(uint64(0x0a000001+i%5), 0x0a000002, uint64(2000+i), 80))
+	}
+	for round := 0; round < 2; round++ { // cold then warm
+		now := uint64(round + 1)
+		var seq []Decision
+		for _, k := range keys {
+			seq = append(seq, seqSW.ProcessKey(now, k))
+		}
+		batch := batchSW.ProcessBatch(now, keys, nil)
+		batchEq(t, fmt.Sprintf("round %d", round), seq, batch, seqSW, batchSW)
+	}
+}
+
+// TestRunCoalescingExactness is the property test for same-flow run
+// coalescing: over randomized bursts full of elephant runs, a switch with
+// coalescing enabled must produce exactly the decisions, switch counters
+// and per-tier stats of an identically-built switch with coalescing
+// disabled — the accounting shortcut must be observationally invisible.
+func TestRunCoalescingExactness(t *testing.T) {
+	hierarchies := []struct {
+		name string
+		opts []Option
+	}{
+		{"emc+tss", nil},
+		{"emc+smc+tss", []Option{WithSMC(cache.SMCConfig{Entries: 1 << 12})}},
+		{"smc+tss", []Option{WithoutEMC(), WithSMC(cache.SMCConfig{Entries: 1 << 12})}},
+		{"tss-only", []Option{WithoutEMC()}},
+		{"sorted-tss", []Option{WithoutEMC(), WithMegaflow(cache.MegaflowConfig{SortByHits: true, SortEvery: 8})}},
+	}
+	for _, h := range hierarchies {
+		t.Run(h.name, func(t *testing.T) {
+			build := func(extra ...Option) *Switch {
+				// Same name on both switches: the EMC insertion PRNG seed
+				// derives from it, so the pair draws identical sequences.
+				sw := New("prop", append(append([]Option{}, h.opts...), extra...)...)
+				var m flow.Match
+				m.Key.Set(flow.FieldIPSrc, 0x0a000000)
+				m.Mask.SetPrefix(flow.FieldIPSrc, 8)
+				sw.InstallRule(flowtable.Rule{Match: m, Priority: 10, Action: flowtable.Action{Verdict: flowtable.Allow}})
+				sw.InstallRule(flowtable.Rule{Priority: 0})
+				return sw
+			}
+			on, off := build(), build(WithoutRunCoalescing())
+
+			rng := rand.New(rand.NewSource(42))
+			pool := make([]flow.Key, 24)
+			for i := range pool {
+				// Mix of allowed (10/8) and denied sources.
+				src := uint64(0x0a000000 + rng.Intn(1<<16))
+				if i%5 == 0 {
+					src = uint64(0xc0a80000 + rng.Intn(1<<8))
+				}
+				pool[i] = tcpKey(src, 0x0a000002, uint64(1024+rng.Intn(4096)), 80)
+			}
+			var onOut, offOut []Decision
+			for tick := uint64(1); tick <= 8; tick++ {
+				// Elephant-shaped burst: random flows, geometric run lengths.
+				var burstKeys []flow.Key
+				for len(burstKeys) < 96 {
+					k := pool[rng.Intn(len(pool))]
+					runLen := 1 << rng.Intn(5) // 1..16
+					for j := 0; j < runLen && len(burstKeys) < 96; j++ {
+						burstKeys = append(burstKeys, k)
+					}
+				}
+				onOut = on.ProcessBatch(tick, burstKeys, onOut)
+				offOut = off.ProcessBatch(tick, burstKeys, offOut)
+				for i := range burstKeys {
+					if onOut[i] != offOut[i] {
+						t.Fatalf("tick %d key %d: coalesced %+v != exact %+v", tick, i, onOut[i], offOut[i])
+					}
+				}
+			}
+			a, b := on.Counters(), off.Counters()
+			if a.Packets != b.Packets || a.Upcalls != b.Upcalls || a.Allowed != b.Allowed || a.Denied != b.Denied {
+				t.Fatalf("switch counters diverge:\n coalesced %+v\n exact     %+v", a, b)
+			}
+			for i, tier := range on.Tiers() {
+				if sa, sb := tier.Stats(), off.Tiers()[i].Stats(); sa != sb {
+					t.Fatalf("tier %q stats diverge:\n coalesced %+v\n exact     %+v", tier.Name(), sa, sb)
+				}
+			}
+		})
+	}
+}
+
+// TestSMCForcesProbabilisticEMCInsertion pins the OVS coupling: enabling
+// the SMC without an explicit EMC insertion policy switches the EMC to
+// probabilistic insertion (1/100), while the default hierarchy keeps
+// inserting always. An explicit InsertProb of 1 opts back out.
+func TestSMCForcesProbabilisticEMCInsertion(t *testing.T) {
+	flood := func(sw *Switch) int {
+		for i := 0; i < 64; i++ {
+			k := tcpKey(uint64(0x0a000001+i), 0x0a000002, 1000, 80)
+			sw.ProcessKey(1, k) // upcall
+			sw.ProcessKey(2, k) // megaflow hit -> EMC install attempt
+		}
+		return sw.EMC().Len()
+	}
+	if got := flood(aclSwitch()); got != 64 {
+		t.Fatalf("default hierarchy cached %d/64 flows in the EMC, want all", got)
+	}
+	smcLen := flood(aclSwitch(WithSMC(cache.SMCConfig{Entries: 1 << 12})))
+	if smcLen > 16 {
+		t.Fatalf("SMC-enabled hierarchy cached %d/64 flows in the EMC; 1/100 insertion should admit almost none", smcLen)
+	}
+	explicit := flood(aclSwitch(
+		WithEMC(cache.EMCConfig{InsertProb: 1}),
+		WithSMC(cache.SMCConfig{Entries: 1 << 12})))
+	if explicit != 64 {
+		t.Fatalf("explicit InsertProb=1 cached %d/64 flows, want all", explicit)
+	}
+}

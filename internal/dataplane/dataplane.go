@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"policyinject/internal/burst"
 	"policyinject/internal/cache"
 	"policyinject/internal/classifier"
 	"policyinject/internal/conntrack"
@@ -64,6 +65,7 @@ type config struct {
 	conntrack  *conntrack.Config
 	tiers      []Tier // custom hierarchy (tiersSet): other cache opts ignored
 	tiersSet   bool
+	noCoalesce bool
 }
 
 // Option configures a Switch under construction.
@@ -97,6 +99,12 @@ func WithMaxIdle(units uint64) Option { return func(c *config) { c.maxIdle = uni
 // WithConntrack attaches a connection tracker so stateful ACLs
 // (Recirc/Commit actions) work. Stateless rule sets are unaffected.
 func WithConntrack(cfg conntrack.Config) Option { return func(c *config) { c.conntrack = &cfg } }
+
+// WithoutRunCoalescing disables same-flow run coalescing in ProcessBatch:
+// consecutive identical keys are then classified one by one. The batched
+// tier walk itself stays on. Used by the A/B benchmarks and the
+// coalescing-exactness property tests.
+func WithoutRunCoalescing() Option { return func(c *config) { c.noCoalesce = true } }
 
 // WithTiers replaces the default hierarchy with an explicit tier list,
 // walked in order. The cache options (WithEMC/WithSMC/WithMegaflow) are
@@ -174,14 +182,41 @@ type Switch struct {
 	cls     *classifier.Classifier
 	ports   map[uint32]*Port
 
-	tiers     []Tier
-	tierHits  []uint64
-	installer MegaflowInstaller // last installer tier, nil if none
-	promoteTo int               // tiers[:promoteTo] receive upcall promotions
+	tiers      []Tier
+	tierHits   []uint64
+	installer  MegaflowInstaller // last installer tier, nil if none
+	promoteTo  int               // tiers[:promoteTo] receive upcall promotions
+	noCoalesce bool              // disable same-flow run coalescing
+	needHashes bool              // some tier consumes burst flow hashes (HashUser)
 
 	ct *conntrack.Table
 
 	counters Counters
+	batch    batchScratch
+}
+
+// batchScratch is the per-switch working set ProcessBatch reuses across
+// bursts, so steady-state batch classification allocates nothing.
+type batchScratch struct {
+	hashes []uint64
+	ents   []*cache.Entry
+	costs  []int
+	runs   []int // start index of each same-key run, ascending
+	hits   []int // indices resolved by the current tier pass
+	miss   burst.Bitmap
+	prev   burst.Bitmap
+}
+
+func (bs *batchScratch) grow(n int) {
+	if cap(bs.hashes) < n {
+		bs.hashes = make([]uint64, n)
+		bs.ents = make([]*cache.Entry, n)
+		bs.costs = make([]int, n)
+	}
+	bs.hashes = bs.hashes[:n]
+	bs.ents = bs.ents[:n]
+	bs.costs = bs.costs[:n]
+	bs.runs = bs.runs[:0]
 }
 
 // New builds a Switch with the given name and options. With no options the
@@ -201,21 +236,34 @@ func New(name string, opts ...Option) *Switch {
 		if cfg.emc != nil {
 			emcCfg = *cfg.emc
 		}
+		smcOn := cfg.smc != nil && cfg.smc.Entries >= 0
 		if emcCfg.Entries >= 0 {
+			// OVS couples smc-enable with probabilistic EMC insertion: the
+			// SMC absorbs the flows the EMC no longer caches eagerly. Force
+			// the stock emc-insert-inv-prob of 1/100 unless the caller set
+			// an insertion policy explicitly; seed the PRNG from the switch
+			// name so every experiment run draws the same sequence.
+			if smcOn && emcCfg.InsertProb == 0 && emcCfg.InsertEvery == 0 {
+				emcCfg.InsertProb = cache.DefaultEMCInsertProb
+			}
+			if emcCfg.Seed == 0 {
+				emcCfg.Seed = nameSeed(name)
+			}
 			tiers = append(tiers, NewEMCTier(emcCfg))
 		}
-		if cfg.smc != nil && cfg.smc.Entries >= 0 {
+		if smcOn {
 			tiers = append(tiers, NewSMCTier(*cfg.smc))
 		}
 		tiers = append(tiers, NewMegaflowTier(cfg.megaflow))
 	}
 	s := &Switch{
-		name:     name,
-		maxIdle:  cfg.maxIdle,
-		cls:      classifier.New(cfg.classifier),
-		ports:    make(map[uint32]*Port),
-		tiers:    tiers,
-		tierHits: make([]uint64, len(tiers)),
+		name:       name,
+		maxIdle:    cfg.maxIdle,
+		cls:        classifier.New(cfg.classifier),
+		ports:      make(map[uint32]*Port),
+		tiers:      tiers,
+		tierHits:   make([]uint64, len(tiers)),
+		noCoalesce: cfg.noCoalesce,
 	}
 	for i := len(tiers) - 1; i >= 0; i-- {
 		if inst, ok := tiers[i].(MegaflowInstaller); ok {
@@ -224,10 +272,33 @@ func New(name string, opts ...Option) *Switch {
 			break
 		}
 	}
+	for _, t := range tiers {
+		if _, ok := t.(HashUser); ok {
+			s.needHashes = true
+			break
+		}
+	}
 	if cfg.conntrack != nil {
 		s.ct = conntrack.New(*cfg.conntrack)
 	}
 	return s
+}
+
+// nameSeed derives the per-switch PRNG seed for probabilistic EMC
+// insertion: FNV-1a over the switch name, so a named switch draws the
+// same reproducible sequence in every run while distinct PMDs
+// ("<name>/pmd<i>") draw distinct ones.
+func nameSeed(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
 }
 
 // Name returns the configured switch name.
@@ -327,14 +398,31 @@ func (s *Switch) ProcessKey(now uint64, k flow.Key) Decision {
 	return s.processOne(now, k)
 }
 
-// processOne is ProcessKey minus the packet counter, so ProcessBatch can
+// processOne is ProcessKey minus the packet counter, so batch callers can
 // bill a whole burst with one add.
 func (s *Switch) processOne(now uint64, k flow.Key) Decision {
-	d := s.classifyOnce(now, k)
+	d, _, _ := s.processOneTracked(now, k)
+	return d
+}
+
+// processOneTracked is processOne plus the hit provenance the run
+// coalescer needs: the index of the tier that answered and the entry it
+// returned. A slow-path or recirculated decision reports tier -1 (such
+// decisions are never coalesced).
+func (s *Switch) processOneTracked(now uint64, k flow.Key) (Decision, int, *cache.Entry) {
+	d, ti, ent := s.classifyTracked(now, k)
 	if !d.Verdict.Recirc {
 		s.account(d.Verdict)
-		return d
+		return d, ti, ent
 	}
+	return s.finishRecirc(now, k, d), -1, nil
+}
+
+// finishRecirc completes a packet whose first pass hit a conntrack
+// dispatch rule: the connection tracker classifies the 5-tuple, the
+// ct_state field is stamped into the key, and the pipeline runs again —
+// both passes billed, as both cost the real switch.
+func (s *Switch) finishRecirc(now uint64, k flow.Key, d Decision) Decision {
 	if s.ct == nil {
 		// A stateful rule set on a switch without conntrack: fail closed.
 		s.counters.Denied++
@@ -376,20 +464,205 @@ func GrowDecisions(out []Decision, n int) []Decision {
 // Decision per key into out (grown if needed) and returning it. Batching
 // is the first-class driving surface: the simulator and the PMD pool hand
 // whole NIC bursts to the pipeline instead of one packet at a time.
+//
+// The burst is the unit of classification: flow hashes are computed once
+// at batch entry, consecutive identical keys are coalesced into one lookup
+// plus n accountings (same-flow runs, the shape heavy-tailed flow-size
+// distributions produce), and the remaining distinct keys sweep the tier
+// hierarchy one tier pass at a time over a miss bitmap — the megaflow pass
+// visits each subtable once per burst instead of once per key. Within a
+// burst, one key's cache promotions become visible to later *tier passes*
+// of the same walk and to later packets of its own run — not to other
+// keys already swept past that tier. In particular a key repeated in two
+// non-consecutive runs of one burst is probed once per run in the same
+// sweep, so the second run does not see the first's promotions and may
+// answer from a lower tier than a sequential ProcessKey loop would (the
+// verdict is identical either way). This is the visibility rule of OVS's
+// dp_packet_batch processing; exact batch==sequential equivalence holds
+// for bursts whose duplicate keys are consecutive.
 func (s *Switch) ProcessBatch(now uint64, keys []flow.Key, out []Decision) []Decision {
 	out = GrowDecisions(out, len(keys))
 	s.counters.Packets += uint64(len(keys))
-	for i := range keys {
-		out[i] = s.processOne(now, keys[i])
-	}
+	s.processBatch(now, keys, nil, out)
 	return out
 }
 
+// processBatch is ProcessBatch minus the packet counter and output
+// growth. hashes, when non-nil, carries the burst's precomputed flow
+// hashes (flow.HashKeys, index-aligned with keys); nil computes them here.
+func (s *Switch) processBatch(now uint64, keys []flow.Key, hashes []uint64, out []Decision) {
+	n := len(keys)
+	switch n {
+	case 0:
+		return
+	case 1:
+		out[0] = s.processOne(now, keys[0])
+		return
+	}
+	bs := &s.batch
+	bs.grow(n)
+	if hashes == nil && s.needHashes {
+		// Batch-entry hash pass: one Hash per key, reused by every
+		// hash-consuming tier instead of re-hashing per probe. Skipped
+		// entirely when no tier declares HashUser.
+		bs.hashes = flow.HashKeys(keys, bs.hashes)
+		hashes = bs.hashes
+	}
+
+	// Same-flow run detection: a run of consecutive identical keys (an
+	// elephant-flow burst) enters the tier walk once, through its first
+	// key; the copies are settled against the warm cache afterwards.
+	bs.runs = append(bs.runs, 0)
+	for i := 1; i < n; i++ {
+		if keys[i] != keys[i-1] {
+			bs.runs = append(bs.runs, i)
+		}
+	}
+
+	// Vectorized tier walk over the run representatives: each tier
+	// resolves what it can for the whole burst before the walk descends.
+	bs.miss.Reset(n)
+	for _, r := range bs.runs {
+		bs.miss.Set(r)
+		bs.ents[r] = nil
+		bs.costs[r] = 0
+	}
+	for ti, t := range s.tiers {
+		if bs.miss.Empty() {
+			break
+		}
+		bs.prev.CopyFrom(&bs.miss)
+		if bt, ok := t.(BatchTier); ok {
+			bt.LookupBatch(keys, hashes, now, bs.ents, bs.costs, &bs.miss)
+		} else {
+			// Scalar fallback: tiers without a batch path are probed key
+			// by key, so WithTiers custom hierarchies keep working.
+			bs.prev.ForEach(func(i int) {
+				ent, cost, ok := t.Lookup(keys[i], now)
+				bs.costs[i] += cost
+				if ok {
+					bs.ents[i] = ent
+					bs.miss.Clear(i)
+				}
+			})
+		}
+		// Bill and promote this pass's hits (prev &^ miss), exactly as the
+		// scalar walk would: hit on tier ti installs into tiers [0, ti).
+		bs.hits = bs.prev.AndNot(&bs.miss, bs.hits[:0])
+		for _, i := range bs.hits {
+			s.tierHits[ti]++
+			for _, upper := range s.tiers[:ti] {
+				upper.Install(keys[i], bs.ents[i])
+			}
+			out[i] = Decision{Verdict: bs.ents[i].Verdict, Path: t.Path(), MasksScanned: bs.costs[i]}
+		}
+	}
+
+	// Upcall tail, in input order. An upcall can install a megaflow that
+	// covers later misses of the same burst, so once anything has been
+	// installed the remaining misses re-probe the authoritative tier
+	// before their own upcall — the post-upcall re-lookup real datapaths
+	// do to avoid duplicate installs.
+	if !bs.miss.Empty() {
+		installs := 0
+		bs.miss.ForEach(func(i int) {
+			out[i] = s.upcallOne(now, keys[i], bs.costs[i], &installs)
+		})
+	}
+
+	// Verdict accounting and conntrack recirculation for the
+	// representatives, in input order.
+	for _, r := range bs.runs {
+		if out[r].Verdict.Recirc {
+			out[r] = s.finishRecirc(now, keys[r], out[r])
+		} else {
+			s.account(out[r].Verdict)
+		}
+	}
+
+	// Settle the runs: every non-representative copy classifies against
+	// the cache its run's first key just warmed.
+	for ri, start := range bs.runs {
+		end := n
+		if ri+1 < len(bs.runs) {
+			end = bs.runs[ri+1]
+		}
+		if end-start > 1 {
+			s.processRun(now, keys[start], out, start+1, end)
+		}
+	}
+}
+
+// processRun classifies copies [from, to) of one key whose first copy the
+// batch walk already settled. The first copy here takes a real scalar
+// walk (it sees the promotions its predecessor installed); if it lands
+// stably in the top tier and the tier can coalesce, the remaining copies
+// collapse into one AccountRun — one lookup plus n accountings for the
+// whole elephant burst. Anything unstable (slow path, recirculation,
+// probabilistic-insertion hierarchies still warming) falls back to exact
+// per-copy processing.
+func (s *Switch) processRun(now uint64, k flow.Key, out []Decision, from, to int) {
+	d, tierIdx, ent := s.processOneTracked(now, k)
+	out[from] = d
+	rest := to - from - 1
+	if rest == 0 {
+		return
+	}
+	if !s.noCoalesce && tierIdx == 0 && !d.Recirculated {
+		if rc, ok := s.tiers[0].(RunCoalescer); ok && rc.AccountRun(ent, rest, d.MasksScanned, now) {
+			s.tierHits[0] += uint64(rest)
+			if d.Verdict.Verdict == flowtable.Allow {
+				s.counters.Allowed += uint64(rest)
+			} else {
+				s.counters.Denied += uint64(rest)
+			}
+			for i := from + 1; i < to; i++ {
+				out[i] = d
+			}
+			return
+		}
+	}
+	for i := from + 1; i < to; i++ {
+		out[i] = s.processOne(now, k)
+	}
+}
+
+// upcallOne settles one batch-walk miss: re-probe the authoritative tier
+// when a same-burst upcall may have covered the key, then fall to the
+// slow path. sweepCost is the scan cost the walk already accrued for the
+// key (the cost a scalar walk would report for the miss).
+func (s *Switch) upcallOne(now uint64, k flow.Key, sweepCost int, installs *int) Decision {
+	if *installs > 0 && s.installer != nil {
+		ent, cost, ok := s.installer.Lookup(k, now)
+		if ok {
+			s.tierHits[s.promoteTo]++
+			for _, upper := range s.tiers[:s.promoteTo] {
+				upper.Install(k, ent)
+			}
+			return Decision{Verdict: ent.Verdict, Path: s.installer.Path(), MasksScanned: cost}
+		}
+		sweepCost = cost
+	}
+	d, installed := s.upcall(now, k, sweepCost)
+	if installed {
+		*installs++
+	}
+	return d
+}
+
 // classifyOnce runs one pipeline pass (tier walk -> upcall) without
-// verdict accounting or recirculation handling. A hit on tier i is
-// promoted into tiers [0, i); an upcall's synthesised megaflow is
-// installed into the authoritative tier and promoted above it.
+// verdict accounting or recirculation handling.
 func (s *Switch) classifyOnce(now uint64, k flow.Key) Decision {
+	d, _, _ := s.classifyTracked(now, k)
+	return d
+}
+
+// classifyTracked is the scalar tier walk: a hit on tier i is promoted
+// into tiers [0, i); an upcall's synthesised megaflow is installed into
+// the authoritative tier and promoted above it. It also reports the
+// answering tier's index (-1 for the slow path) and entry, the provenance
+// the run coalescer keys on.
+func (s *Switch) classifyTracked(now uint64, k flow.Key) (Decision, int, *cache.Entry) {
 	scanned := 0
 	for i, t := range s.tiers {
 		ent, cost, ok := t.Lookup(k, now)
@@ -401,18 +674,25 @@ func (s *Switch) classifyOnce(now uint64, k flow.Key) Decision {
 		for _, upper := range s.tiers[:i] {
 			upper.Install(k, ent)
 		}
-		return Decision{Verdict: ent.Verdict, Path: t.Path(), MasksScanned: scanned}
+		return Decision{Verdict: ent.Verdict, Path: t.Path(), MasksScanned: scanned}, i, ent
 	}
+	d, _ := s.upcall(now, k, scanned)
+	return d, -1, nil
+}
 
-	// Upcall: full slow-path classification, then cache the megaflow in
-	// the authoritative tier and reference it from the tiers above, so
-	// their hits keep the flow warm.
+// upcall runs the full slow-path classification, then caches the
+// synthesised megaflow in the authoritative tier and references it from
+// the tiers above, so their hits keep the flow warm. The bool reports
+// whether a megaflow was installed (the batch tail uses it to decide when
+// later misses must re-probe).
+func (s *Switch) upcall(now uint64, k flow.Key, scanned int) (Decision, bool) {
 	s.counters.Upcalls++
 	res := s.cls.Lookup(k)
 	v := cache.Verdict{Verdict: flowtable.Deny}
 	if res.Rule != nil {
 		v = res.Rule.Action
 	}
+	installed := false
 	if s.installer != nil {
 		ent, err := s.installer.InsertMegaflow(res.Megaflow, v, now)
 		if err != nil {
@@ -421,9 +701,10 @@ func (s *Switch) classifyOnce(now uint64, k flow.Key) Decision {
 			for _, upper := range s.tiers[:s.promoteTo] {
 				upper.Install(k, ent)
 			}
+			installed = true
 		}
 	}
-	return Decision{Verdict: v, Path: PathSlow, MasksScanned: scanned}
+	return Decision{Verdict: v, Path: PathSlow, MasksScanned: scanned}, installed
 }
 
 func (s *Switch) account(v cache.Verdict) {

@@ -279,8 +279,11 @@ func containsStr(s, sub string) bool {
 }
 
 func TestPipelineWithSMCPathProgression(t *testing.T) {
-	// OVS 2.10 hierarchy: EMC -> SMC -> megaflow TSS.
-	s := aclSwitch(WithSMC(cache.SMCConfig{Entries: 1 << 12}))
+	// OVS 2.10 hierarchy: EMC -> SMC -> megaflow TSS. Insertion is pinned
+	// to always (enabling the SMC otherwise forces emc-insert-inv-prob, see
+	// TestSMCForcesProbabilisticEMCInsertion) so the path progression stays
+	// deterministic.
+	s := aclSwitch(WithEMC(cache.EMCConfig{InsertProb: 1}), WithSMC(cache.SMCConfig{Entries: 1 << 12}))
 	k := tcpKey(0x0a000001, 0x0a000002, 1234, 80)
 
 	// Upcall installs the megaflow and promotes into SMC and EMC.

@@ -22,7 +22,18 @@ import (
 // many packets (or biasing the 5-tuples toward the victim's queue, where
 // the RSS function is known) restores the full count.
 type PMDPool struct {
-	pmds []*Switch
+	pmds  []*Switch
+	lanes []pmdLane // ProcessBatch scratch, one lane per PMD
+}
+
+// pmdLane is one PMD's share of a burst: the key indices it owns (input
+// order), the compacted keys/hashes handed to its batch walk, and its
+// decisions before the scatter back to input order.
+type pmdLane struct {
+	idx    []int
+	keys   []flow.Key
+	hashes []uint64
+	out    []Decision
 }
 
 // NewPMDPool builds n PMD instances named "<name>/pmd<i>", each assembled
@@ -73,31 +84,52 @@ func (p *PMDPool) ProcessKey(now uint64, k flow.Key) Decision {
 }
 
 // ProcessBatch distributes keys to their PMDs by RSS hash and processes
-// each PMD's share on its own goroutine — the actual parallelism of a
-// multi-queue NIC. Decisions are written into out (grown if needed) in
-// input order and returned. Each PMD sees its subsequence in input order,
-// so the results are identical to a sequential ProcessKey loop.
+// each PMD's share as one sub-burst on its own goroutine — the actual
+// parallelism of a multi-queue NIC. Each flow hash is computed once and
+// reused for both steering and the PMD's batched tier walk, and each PMD
+// sees its subsequence in input order, so results land in out (grown if
+// needed) in input order. Not safe for concurrent use: the pool owns its
+// scatter/gather scratch.
 func (p *PMDPool) ProcessBatch(now uint64, keys []flow.Key, out []Decision) []Decision {
 	out = GrowDecisions(out, len(keys))
-	buckets := make([][]int, len(p.pmds)) // key indices per PMD, in input order
+	if p.lanes == nil {
+		p.lanes = make([]pmdLane, len(p.pmds))
+	}
+	for i := range p.lanes {
+		l := &p.lanes[i]
+		l.idx = l.idx[:0]
+		l.keys = l.keys[:0]
+		l.hashes = l.hashes[:0]
+	}
+	nPMD := uint64(len(p.pmds))
 	for i, k := range keys {
-		pmd := p.Steer(k)
-		buckets[pmd] = append(buckets[pmd], i)
+		h := k.Hash()
+		l := &p.lanes[h%nPMD]
+		l.idx = append(l.idx, i)
+		l.keys = append(l.keys, k)
+		l.hashes = append(l.hashes, h)
 	}
 	var wg sync.WaitGroup
-	for pmd, idxs := range buckets {
-		if len(idxs) == 0 {
+	for li := range p.lanes {
+		l := &p.lanes[li]
+		if len(l.idx) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(sw *Switch, idxs []int) {
+		go func(sw *Switch, l *pmdLane) {
 			defer wg.Done()
-			for _, i := range idxs {
-				out[i] = sw.ProcessKey(now, keys[i])
-			}
-		}(p.pmds[pmd], idxs)
+			l.out = GrowDecisions(l.out, len(l.keys))
+			sw.counters.Packets += uint64(len(l.keys))
+			sw.processBatch(now, l.keys, l.hashes, l.out)
+		}(p.pmds[li], l)
 	}
 	wg.Wait()
+	for li := range p.lanes {
+		l := &p.lanes[li]
+		for j, i := range l.idx {
+			out[i] = l.out[j]
+		}
+	}
 	return out
 }
 

@@ -3,6 +3,7 @@ package dataplane
 import (
 	"fmt"
 
+	"policyinject/internal/burst"
 	"policyinject/internal/cache"
 	"policyinject/internal/flow"
 )
@@ -34,6 +35,45 @@ type Tier interface {
 	EvictIdle(deadline uint64) int
 	// Stats returns a snapshot of the tier's counters.
 	Stats() TierStats
+}
+
+// BatchTier is the vectorized capability of a tier: resolving a whole
+// burst in one call. The switch's batched tier walk prefers it over
+// per-key Lookup; tiers without it are probed key by key by the generic
+// fallback, so custom WithTiers hierarchies keep working unchanged.
+type BatchTier interface {
+	Tier
+	// LookupBatch consults the tier for every key whose index is set in
+	// miss, at logical time now. A resolved key writes its entry into
+	// ents[i], accumulates its scan cost into costs[i] and clears bit i;
+	// an unresolved key accumulates cost and keeps its bit. hashes[i] is
+	// keys[i]'s flow hash, computed once at burst entry (flow.HashKeys)
+	// and reused by every hash-consuming tier. Counter effects must equal
+	// the scalar Lookup sequence over the same keys — the conformance
+	// suite checks exactly that.
+	LookupBatch(keys []flow.Key, hashes []uint64, now uint64, ents []*cache.Entry, costs []int, miss *burst.Bitmap)
+}
+
+// HashUser marks a BatchTier whose LookupBatch consumes the burst's
+// cached flow hashes. The switch pays for the batch-entry hash pass only
+// when some tier declares it (or when the PMD pool already computed the
+// hashes for RSS steering); a BatchTier that reads hashes without
+// implementing HashUser may receive nil.
+type HashUser interface {
+	UsesFlowHashes()
+}
+
+// RunCoalescer is the same-flow run capability of a tier: billing n
+// further hits of a key's resident entry without re-probing, which is what
+// lets a burst of consecutive identical keys (an elephant-flow burst)
+// collapse into one lookup plus n accountings.
+type RunCoalescer interface {
+	Tier
+	// AccountRun bills n additional hits of ent at scan cost cost, as if
+	// Lookup ran n more times at logical time now. Returns false when the
+	// tier cannot coalesce exactly (the switch falls back to scalar
+	// lookups for the run's remainder).
+	AccountRun(ent *cache.Entry, n int, cost int, now uint64) bool
 }
 
 // MegaflowInstaller is the capability of an authoritative tier: accepting
@@ -81,6 +121,18 @@ func (t *EMCTier) Lookup(k flow.Key, now uint64) (*cache.Entry, int, bool) {
 	return ent, 0, ok
 }
 
+// LookupBatch resolves the burst's still-missing keys in one pass (the
+// EMC's exact-match probe needs no flow hash; the map hashes internally).
+func (t *EMCTier) LookupBatch(keys []flow.Key, _ []uint64, now uint64, ents []*cache.Entry, _ []int, miss *burst.Bitmap) {
+	t.emc.LookupBatch(keys, now, ents, miss)
+}
+
+// AccountRun coalesces a same-flow run into n billed hits.
+func (t *EMCTier) AccountRun(ent *cache.Entry, n int, _ int, now uint64) bool {
+	t.emc.AccountRun(ent, n, now)
+	return true
+}
+
 func (t *EMCTier) Install(k flow.Key, ent *cache.Entry) { t.emc.Insert(k, ent) }
 func (t *EMCTier) Flush()                               { t.emc.Flush() }
 func (t *EMCTier) EvictIdle(uint64) int                 { return 0 } // stale refs invalidate lazily
@@ -108,6 +160,22 @@ func (t *SMCTier) Path() Path   { return PathSMC }
 func (t *SMCTier) Lookup(k flow.Key, now uint64) (*cache.Entry, int, bool) {
 	ent, ok := t.smc.Lookup(k, now)
 	return ent, 0, ok
+}
+
+// LookupBatch resolves the burst's still-missing keys in one pass over
+// the burst's precomputed flow hashes.
+func (t *SMCTier) LookupBatch(keys []flow.Key, hashes []uint64, now uint64, ents []*cache.Entry, _ []int, miss *burst.Bitmap) {
+	t.smc.LookupBatch(keys, hashes, now, ents, miss)
+}
+
+// UsesFlowHashes declares that the SMC's batch pass consumes the cached
+// burst hashes (its fingerprints are the flow hash).
+func (t *SMCTier) UsesFlowHashes() {}
+
+// AccountRun coalesces a same-flow run into n billed hits.
+func (t *SMCTier) AccountRun(ent *cache.Entry, n int, _ int, now uint64) bool {
+	t.smc.AccountRun(ent, n, now)
+	return true
 }
 
 func (t *SMCTier) Install(k flow.Key, ent *cache.Entry) { t.smc.Insert(k, ent) }
@@ -140,6 +208,19 @@ func (t *MegaflowTier) Path() Path   { return PathMegaflow }
 
 func (t *MegaflowTier) Lookup(k flow.Key, now uint64) (*cache.Entry, int, bool) {
 	return t.mfc.Lookup(k, now)
+}
+
+// LookupBatch runs the inverted subtable sweep: each resident mask is
+// visited once per burst instead of once per key (see
+// cache.Megaflow.LookupBatch).
+func (t *MegaflowTier) LookupBatch(keys []flow.Key, _ []uint64, now uint64, ents []*cache.Entry, costs []int, miss *burst.Bitmap) {
+	t.mfc.LookupBatch(keys, now, ents, costs, miss)
+}
+
+// AccountRun coalesces a same-flow run into n billed hits at the run's
+// scan depth; refused (false) when hit-count re-sorting is enabled.
+func (t *MegaflowTier) AccountRun(ent *cache.Entry, n int, cost int, now uint64) bool {
+	return t.mfc.AccountRun(ent, n, cost, now)
 }
 
 // Install is a no-op: the megaflow tier mints its own entries via

@@ -168,6 +168,23 @@ func (k Key) Hash() uint64 {
 // per-mask statistics.
 func (m Mask) Hash() uint64 { return Key(m).Hash() }
 
+// HashKeys fills dst with the Hash of each key, reusing dst's storage when
+// its capacity suffices, and returns it. This is the batch-entry hash pass
+// of the vectorized datapath: a burst's flow hashes are computed once —
+// at extract/batch-entry time — and then reused by every hash-consuming
+// consumer (SMC fingerprinting, EMC victim selection, RSS steering)
+// instead of re-hashing the key per probe.
+func HashKeys(keys []Key, dst []uint64) []uint64 {
+	if cap(dst) < len(keys) {
+		dst = make([]uint64, len(keys))
+	}
+	dst = dst[:len(keys)]
+	for i := range keys {
+		dst[i] = keys[i].Hash()
+	}
+	return dst
+}
+
 // Get returns the value of field id in k, right-aligned.
 func (k Key) Get(id FieldID) uint64 {
 	f := FieldByID(id)

@@ -234,3 +234,22 @@ func TestMaskFields(t *testing.T) {
 		t.Errorf("Fields() = %v", got)
 	}
 }
+
+func TestHashKeysMatchesScalarHash(t *testing.T) {
+	keys := make([]Key, 5)
+	for i := range keys {
+		keys[i].Set(FieldIPSrc, uint64(0x0a000001+i))
+		keys[i].Set(FieldTPDst, uint64(80+i))
+	}
+	// Fills a fresh slice, matches per-key Hash, and reuses capacity.
+	got := HashKeys(keys, nil)
+	for i := range keys {
+		if got[i] != keys[i].Hash() {
+			t.Fatalf("hash %d diverges from Key.Hash", i)
+		}
+	}
+	reuse := HashKeys(keys[:3], got)
+	if &reuse[0] != &got[0] || len(reuse) != 3 {
+		t.Error("HashKeys did not reuse the destination buffer")
+	}
+}
