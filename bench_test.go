@@ -547,6 +547,114 @@ func BenchmarkBatchVsScalar(b *testing.B) {
 	}
 }
 
+// BenchmarkFramePath — the frame-first ingress payoff: end-to-end cost
+// (parse included) of the same wire burst through the three entry points,
+// per workload.
+//
+//   - frames: one ProcessFrames call per burst — batched extract (single
+//     bounds check on the common shape), one hash pass, vectorized tier
+//     walk. The new first-class door.
+//   - scalar: a looped scalar Process — per-frame extract, per-frame tier
+//     walk. The old entry point; the acceptance bar is frames beating
+//     this on both workloads.
+//   - keys: the key-level ProcessBatch over pre-extracted keys, i.e. the
+//     PR 2 surface with parsing billed to nobody — the gap between
+//     "keys" and "frames" is what the parse stage really costs.
+//
+// Workloads: the warm victim mix (8 iperf flows, MTU frames, EMC hits)
+// and the same victim stream at the paper's full-blown attack operating
+// point (8192 covert masks resident, kernel datapath model, so every
+// packet scans the whole exploded subtable ladder — the regime where the
+// inverted per-burst sweep pays).
+func BenchmarkFramePath(b *testing.B) {
+	type workload struct {
+		name   string
+		build  func(b *testing.B) *dataplane.Switch
+		inPort uint32
+		frames func(b *testing.B, sw *dataplane.Switch) [][]byte
+	}
+	workloads := []workload{
+		{
+			name:   "victim/256",
+			build:  func(b *testing.B) *dataplane.Switch { return attackSwitch(b, attack.TwoField(), false) },
+			inPort: 1,
+			frames: func(b *testing.B, sw *dataplane.Switch) [][]byte {
+				gen := victimGen()
+				frames := make([][]byte, 256)
+				for i := range frames {
+					frames[i], _ = gen.NextFrame()
+				}
+				return frames
+			},
+		},
+		{
+			name:   "attack8192/32",
+			build:  func(b *testing.B) *dataplane.Switch { return attackSwitch(b, attack.ThreeField(), true, noEMC) },
+			inPort: 1,
+			frames: func(b *testing.B, sw *dataplane.Switch) [][]byte {
+				gen := victimGen()
+				frames := make([][]byte, 32)
+				for i := range frames {
+					frames[i], _ = gen.NextFrame()
+				}
+				return frames
+			},
+		},
+	}
+	for _, w := range workloads {
+		frameBurst := func(b *testing.B, sw *dataplane.Switch) *dataplane.FrameBatch {
+			b.Helper()
+			var fb dataplane.FrameBatch
+			for _, f := range w.frames(b, sw) {
+				fb.Append(f, w.inPort)
+			}
+			sw.ProcessFrames(1, &fb, nil) // warm
+			return &fb
+		}
+		b.Run(w.name+"/frames", func(b *testing.B) {
+			sw := w.build(b)
+			fb := frameBurst(b, sw)
+			var out []dataplane.Decision
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = sw.ProcessFrames(2, fb, out)
+			}
+			b.ReportMetric(float64(fb.Len()), "burst")
+		})
+		b.Run(w.name+"/scalar", func(b *testing.B) {
+			sw := w.build(b)
+			fb := frameBurst(b, sw)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range fb.Frames {
+					if _, err := sw.Process(2, w.inPort, f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(fb.Len()), "burst")
+		})
+		b.Run(w.name+"/keys", func(b *testing.B) {
+			sw := w.build(b)
+			fb := frameBurst(b, sw)
+			keys := make([]flow.Key, fb.Len())
+			for i := range keys {
+				k, err := pkt.Extract(fb.Frames[i], w.inPort)
+				if err != nil {
+					b.Fatal(err)
+				}
+				keys[i] = k
+			}
+			out := sw.ProcessBatch(1, keys, nil) // warm
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = sw.ProcessBatch(2, keys, out)
+			}
+			b.ReportMetric(float64(fb.Len()), "burst")
+		})
+	}
+}
+
 // BenchmarkHierarchies — the tier-composition payoff: victim per-packet
 // cost under the resident 512-mask attack, for each cache hierarchy the
 // options can assemble. The attack floods 8192 distinct covert keys per

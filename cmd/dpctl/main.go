@@ -234,15 +234,27 @@ func replay(sw *dataplane.Switch, path string) error {
 	}
 	masksBefore := sw.Megaflow().NumMasks()
 	allowed, denied, errs := 0, 0, 0
-	for i, fr := range frames {
-		d, err := sw.Process(uint64(i), 1, fr)
-		switch {
-		case err != nil:
-			errs++
-		case d.Verdict.Verdict == flowtable.Allow:
-			allowed++
-		default:
-			denied++
+	// Feed the capture as NIC-sized wire bursts through the frame-first
+	// ingress: malformed records get per-frame error slots instead of
+	// aborting the burst.
+	const burstLen = 32
+	var fb dataplane.FrameBatch
+	var out []dataplane.Decision
+	for start := 0; start < len(frames); start += burstLen {
+		fb.Reset()
+		for _, fr := range frames[start:min(start+burstLen, len(frames))] {
+			fb.Append(fr, 1)
+		}
+		out = sw.ProcessFrames(uint64(start/burstLen), &fb, out)
+		for i, d := range out[:fb.Len()] {
+			switch {
+			case fb.Err(i) != nil:
+				errs++
+			case d.Verdict.Verdict == flowtable.Allow:
+				allowed++
+			default:
+				denied++
+			}
 		}
 	}
 	fmt.Printf("replayed %d frames: %d allowed, %d denied, %d parse errors\n",

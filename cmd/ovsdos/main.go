@@ -209,9 +209,9 @@ func run(atk *attack.Attack) error {
 		sw.InstallRule(r) // flushes the caches, as a policy change does
 	}
 
-	fmt.Println("\n== flooding covert stream ==")
+	fmt.Println("\n== flooding covert stream (wire frames, 32-frame bursts) ==")
 	start := time.Now()
-	v, err := atk.Execute(sw, 2)
+	v, err := atk.ExecuteFrames(sw, 2, 66)
 	if err != nil {
 		return err
 	}

@@ -38,7 +38,10 @@ func main() {
 	}
 	fmt.Print("installed ACL:\n", policy)
 
-	// 3. Send a few packets: one allowed flow, one denied scanner.
+	// 3. Send traffic the way a NIC delivers it: a burst of raw wire
+	// frames through the frame-first ingress. One allowed flow, one denied
+	// scanner, and one truncated junk frame — which gets its own error
+	// slot and RxErrors accounting instead of aborting the burst.
 	allowed := pkt.MustBuild(pkt.Spec{
 		Src: netip.MustParseAddr("10.1.2.3"), Dst: netip.MustParseAddr("10.9.9.9"),
 		Proto: pkt.ProtoTCP, SrcPort: 44123, DstPort: 443, FrameLen: 1514,
@@ -47,12 +50,25 @@ func main() {
 		Src: netip.MustParseAddr("203.0.113.66"), Dst: netip.MustParseAddr("10.9.9.9"),
 		Proto: pkt.ProtoTCP, SrcPort: 55555, DstPort: 22,
 	})
+	junk := []byte{0xde, 0xad, 0xbe, 0xef}
+	var fb dataplane.FrameBatch
+	var out []dataplane.Decision
 	for now := uint64(1); now <= 3; now++ {
-		d1, _ := sw.Process(now, 1, allowed)
-		d2, _ := sw.Process(now, 1, denied)
-		fmt.Printf("t=%d  %-40s -> %s via %s\n", now, pkt.Summary(allowed), d1.Verdict, d1.Path)
-		fmt.Printf("t=%d  %-40s -> %s via %s\n", now, pkt.Summary(denied), d2.Verdict, d2.Path)
+		fb.Reset()
+		fb.Append(allowed, 1)
+		fb.Append(denied, 1)
+		fb.Append(junk, 1)
+		out = sw.ProcessFrames(now, &fb, out)
+		for i, d := range out {
+			if err := fb.Err(i); err != nil {
+				fmt.Printf("t=%d  frame %d unparseable (%v) -> %s\n", now, i, err, d.Verdict)
+				continue
+			}
+			fmt.Printf("t=%d  %-40s -> %s via %s\n", now, pkt.Summary(fb.Frames[i]), d.Verdict, d.Path)
+		}
 	}
+	fmt.Printf("port 1: rx=%d tx=%d rx_errors=%d dropped=%d\n",
+		sw.Port(1).RxPackets, sw.Port(1).TxPackets, sw.Port(1).RxErrors, sw.Port(1).RxDropped)
 
 	// 4. What the fast path cached: note the megaflow masks — the data
 	// structure the policy-injection attack explodes.

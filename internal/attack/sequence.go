@@ -135,13 +135,47 @@ func (a *Attack) Execute(sw *dataplane.Switch, now uint64) (Verification, error)
 			denied++
 		}
 	}
-	// Injected is the absolute mask population: pre-existing victim
-	// megaflows can share a mask shape with one of the covert
-	// combinations, so a delta would under-count.
+	return a.verification(sw, denied), nil
+}
+
+// ExecuteFrames is Execute over the wire: the covert stream as raw frame
+// bursts through the switch's frame-first ingress at inPort — exactly
+// what an attacker's NIC delivers. Bursts are NIC-sized (32 frames), so
+// the replay exercises the same vectorized extract + tier walk the victim
+// measurement does.
+func (a *Attack) ExecuteFrames(sw *dataplane.Switch, now uint64, inPort uint32) (Verification, error) {
+	frames, err := a.Frames()
+	if err != nil {
+		return Verification{}, err
+	}
+	const burstLen = 32
+	var fb dataplane.FrameBatch
+	var out []dataplane.Decision
+	denied := 0
+	for start := 0; start < len(frames); start += burstLen {
+		fb.Reset()
+		for _, f := range frames[start:min(start+burstLen, len(frames))] {
+			fb.Append(f, inPort)
+		}
+		out = sw.ProcessFrames(now, &fb, out)
+		for _, d := range out[:fb.Len()] {
+			if d.Verdict.Verdict == 0 { // flowtable.Deny
+				denied++
+			}
+		}
+	}
+	return a.verification(sw, denied), nil
+}
+
+// verification snapshots the cache after a replay. Injected is the
+// absolute mask population: pre-existing victim megaflows can share a
+// mask shape with one of the covert combinations, so a delta would
+// under-count.
+func (a *Attack) verification(sw *dataplane.Switch, denied int) Verification {
 	return Verification{
 		Predicted: a.PredictedMasks(),
 		Injected:  sw.Megaflow().NumMasks(),
 		Entries:   sw.Megaflow().Len(),
 		Denied:    denied,
-	}, nil
+	}
 }

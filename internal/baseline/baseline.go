@@ -26,7 +26,6 @@ import (
 	"policyinject/internal/dataplane"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
-	"policyinject/internal/pkt"
 )
 
 // Mode selects the matcher implementation.
@@ -53,7 +52,8 @@ type subtable struct {
 }
 
 // Switch is the cache-less dataplane. It implements the same ProcessKey
-// contract as dataplane.Switch so the simulator can drive either.
+// and frame-first ProcessFrames contracts as dataplane.Switch so the
+// simulator can drive either.
 type Switch struct {
 	cfg   Config
 	table flowtable.Table
@@ -62,6 +62,9 @@ type Switch struct {
 	byMask    map[flow.Mask]*subtable
 
 	counters dataplane.Counters
+
+	oneFrame dataplane.FrameBatch // scalar Process's one-frame batch
+	oneOut   []dataplane.Decision
 }
 
 // New builds a baseline switch.
@@ -192,15 +195,35 @@ func (s *Switch) ProcessBatch(now uint64, keys []flow.Key, out []dataplane.Decis
 	return out
 }
 
-// Process parses and classifies one frame.
-func (s *Switch) Process(now uint64, inPort uint32, frame []byte) (dataplane.Decision, error) {
-	k, err := pkt.Extract(frame, inPort)
-	if err != nil {
-		s.counters.ParseError++
-		s.counters.Packets++
-		return dataplane.Decision{Verdict: cache.Verdict{Verdict: flowtable.Deny}}, err
+// ProcessFrames runs a burst of raw frames through extract + classify,
+// writing one Decision per frame into out (grown if needed) and returning
+// it — the same frame-first ingress contract as dataplane.Switch, so the
+// simulator's measured cost includes the parse stage for the baseline
+// too. Malformed frames are counted (ParseError) and denied without
+// aborting the burst; read per-frame causes via fb.Err.
+func (s *Switch) ProcessFrames(now uint64, fb *dataplane.FrameBatch, out []dataplane.Decision) []dataplane.Decision {
+	out = dataplane.GrowDecisions(out, fb.Len())
+	keys, errs, _ := fb.Extract()
+	for i := range keys {
+		if errs[i] != nil {
+			s.counters.ParseError++
+			s.counters.Packets++
+			out[i] = dataplane.Decision{Verdict: cache.Verdict{Verdict: flowtable.Deny}}
+			continue
+		}
+		out[i] = s.ProcessKey(now, keys[i])
 	}
-	return s.ProcessKey(now, k), nil
+	return out
+}
+
+// Process parses and classifies one frame: the scalar shim over the
+// frame-first entry point, as on dataplane.Switch.
+func (s *Switch) Process(now uint64, inPort uint32, frame []byte) (dataplane.Decision, error) {
+	fb := &s.oneFrame
+	fb.Reset()
+	fb.Append(frame, inPort)
+	s.oneOut = s.ProcessFrames(now, fb, s.oneOut)
+	return s.oneOut[0], fb.Err(0)
 }
 
 // Counters returns a snapshot of the counters.

@@ -1,0 +1,63 @@
+package baseline
+
+import (
+	"net/netip"
+	"testing"
+
+	"policyinject/internal/dataplane"
+	"policyinject/internal/pkt"
+)
+
+// TestProcessFramesMatchesProcessLoop pins the baseline's frame-first
+// contract: ProcessFrames equals a scalar Process loop on decisions and
+// counters, and a malformed frame gets its own slot without aborting the
+// burst.
+func TestProcessFramesMatchesProcessLoop(t *testing.T) {
+	build := func() *Switch {
+		sw := New(Config{})
+		installACL(t, sw, paperACL())
+		return sw
+	}
+	frames := [][]byte{
+		pkt.MustBuild(pkt.Spec{
+			Src: netip.MustParseAddr("10.1.1.1"), Dst: netip.MustParseAddr("10.2.2.2"),
+			Proto: pkt.ProtoUDP, SrcPort: 1, DstPort: 2,
+		}),
+		{0xde, 0xad}, // malformed
+		pkt.MustBuild(pkt.Spec{
+			Src: netip.MustParseAddr("192.168.1.1"), Dst: netip.MustParseAddr("10.2.2.2"),
+			Proto: pkt.ProtoTCP, SrcPort: 9, DstPort: 22,
+		}),
+	}
+
+	seqSW, batchSW := build(), build()
+	var seqOut []dataplane.Decision
+	for i, f := range frames {
+		d, err := seqSW.Process(1, 1, f)
+		if (err != nil) != (i == 1) {
+			t.Fatalf("frame %d: err = %v", i, err)
+		}
+		seqOut = append(seqOut, d)
+	}
+	var fb dataplane.FrameBatch
+	for _, f := range frames {
+		fb.Append(f, 1)
+	}
+	batchOut := batchSW.ProcessFrames(1, &fb, nil)
+	for i := range frames {
+		if seqOut[i] != batchOut[i] {
+			t.Fatalf("frame %d: scalar %+v != batch %+v", i, seqOut[i], batchOut[i])
+		}
+	}
+	if fb.Err(1) == nil || fb.Err(0) != nil || fb.Err(2) != nil {
+		t.Fatalf("error slots wrong: %v %v %v", fb.Err(0), fb.Err(1), fb.Err(2))
+	}
+	a, b := seqSW.Counters(), batchSW.Counters()
+	if a.Packets != b.Packets || a.ParseError != b.ParseError ||
+		a.Allowed != b.Allowed || a.Denied != b.Denied {
+		t.Fatalf("counters diverge:\n scalar %+v\n batch  %+v", a, b)
+	}
+	if b.ParseError != 1 {
+		t.Fatalf("ParseError = %d, want 1", b.ParseError)
+	}
+}

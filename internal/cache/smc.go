@@ -164,7 +164,18 @@ func (s *SMC) Insert(k flow.Key, f *Entry) {
 	if s.max == 0 || f == nil {
 		return
 	}
-	fp, sig := s.index(k)
+	s.InsertHashed(k, k.Hash(), f)
+}
+
+// InsertHashed is Insert with k's flow hash already computed — the batched
+// datapath's install path, where promotions reuse the burst's cached
+// hashes instead of re-hashing each promoted key. Effects are identical to
+// Insert given h == k.Hash().
+func (s *SMC) InsertHashed(k flow.Key, h uint64, f *Entry) {
+	if s.max == 0 || f == nil {
+		return
+	}
+	fp, sig := s.indexHash(h)
 	if old, ok := s.slots[fp]; ok && (old.sig != sig || old.ent != f) {
 		s.Evictions++
 	}

@@ -28,7 +28,6 @@ import (
 	"policyinject/internal/conntrack"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
-	"policyinject/internal/pkt"
 )
 
 // Path identifies which layer decided a packet's fate.
@@ -168,6 +167,7 @@ type Port struct {
 	Name string
 
 	RxPackets, RxBytes uint64
+	RxErrors           uint64 // malformed frames received (also counted in RxDropped)
 	RxDropped          uint64
 	TxPackets, TxBytes uint64
 }
@@ -184,15 +184,20 @@ type Switch struct {
 
 	tiers      []Tier
 	tierHits   []uint64
+	hashedInst []HashedInstaller // per-tier hashed-install capability (nil entries: plain Install)
 	installer  MegaflowInstaller // last installer tier, nil if none
 	promoteTo  int               // tiers[:promoteTo] receive upcall promotions
 	noCoalesce bool              // disable same-flow run coalescing
-	needHashes bool              // some tier consumes burst flow hashes (HashUser)
+	needHashes bool              // some tier consumes burst flow hashes (HashUser/HashedInstaller)
 
 	ct *conntrack.Table
 
 	counters Counters
 	batch    batchScratch
+
+	frameHash []uint64   // ProcessFrames' cached burst hashes
+	oneFrame  FrameBatch // scalar Process's one-frame batch
+	oneOut    []Decision
 }
 
 // batchScratch is the per-switch working set ProcessBatch reuses across
@@ -272,10 +277,14 @@ func New(name string, opts ...Option) *Switch {
 			break
 		}
 	}
-	for _, t := range tiers {
+	s.hashedInst = make([]HashedInstaller, len(tiers))
+	for i, t := range tiers {
 		if _, ok := t.(HashUser); ok {
 			s.needHashes = true
-			break
+		}
+		if hi, ok := t.(HashedInstaller); ok {
+			s.hashedInst[i] = hi
+			s.needHashes = true
 		}
 	}
 	if cfg.conntrack != nil {
@@ -360,31 +369,16 @@ func (s *Switch) flushCaches() {
 func (s *Switch) Rules() []*flowtable.Rule { return s.table.Rules() }
 
 // Process runs one frame received on port inPort through the pipeline at
-// logical time now.
+// logical time now. It is the scalar compatibility shim over the
+// frame-first entry point: a one-frame batch through ProcessFrames. New
+// callers should assemble FrameBatch bursts instead — the burst is the
+// unit of the datapath.
 func (s *Switch) Process(now uint64, inPort uint32, frame []byte) (Decision, error) {
-	if p := s.ports[inPort]; p != nil {
-		p.RxPackets++
-		p.RxBytes += uint64(len(frame))
-	}
-	k, err := pkt.Extract(frame, inPort)
-	if err != nil {
-		s.counters.ParseError++
-		s.counters.Packets++
-		if p := s.ports[inPort]; p != nil {
-			p.RxDropped++
-		}
-		return Decision{Verdict: cache.Verdict{Verdict: flowtable.Deny}}, err
-	}
-	d := s.ProcessKey(now, k)
-	if p := s.ports[inPort]; p != nil {
-		if d.Verdict.Verdict == flowtable.Allow {
-			p.TxPackets++
-			p.TxBytes += uint64(len(frame))
-		} else {
-			p.RxDropped++
-		}
-	}
-	return d, nil
+	fb := &s.oneFrame
+	fb.Reset()
+	fb.Append(frame, inPort)
+	s.oneOut = s.ProcessFrames(now, fb, s.oneOut)
+	return s.oneOut[0], fb.Err(0)
 }
 
 // ProcessKey classifies an already-extracted key — the measurement hook
@@ -548,12 +542,12 @@ func (s *Switch) processBatch(now uint64, keys []flow.Key, hashes []uint64, out 
 		}
 		// Bill and promote this pass's hits (prev &^ miss), exactly as the
 		// scalar walk would: hit on tier ti installs into tiers [0, ti).
+		// Promotion reuses the burst's cached hashes where a tier can take
+		// them (the SMC batch insert path).
 		bs.hits = bs.prev.AndNot(&bs.miss, bs.hits[:0])
 		for _, i := range bs.hits {
 			s.tierHits[ti]++
-			for _, upper := range s.tiers[:ti] {
-				upper.Install(keys[i], bs.ents[i])
-			}
+			s.promoteHashed(keys[i], hashAt(hashes, i), hashes != nil, bs.ents[i], ti)
 			out[i] = Decision{Verdict: bs.ents[i].Verdict, Path: t.Path(), MasksScanned: bs.costs[i]}
 		}
 	}
@@ -566,7 +560,7 @@ func (s *Switch) processBatch(now uint64, keys []flow.Key, hashes []uint64, out 
 	if !bs.miss.Empty() {
 		installs := 0
 		bs.miss.ForEach(func(i int) {
-			out[i] = s.upcallOne(now, keys[i], bs.costs[i], &installs)
+			out[i] = s.upcallOne(now, keys[i], hashAt(hashes, i), hashes != nil, bs.costs[i], &installs)
 		})
 	}
 
@@ -627,23 +621,46 @@ func (s *Switch) processRun(now uint64, k flow.Key, out []Decision, from, to int
 	}
 }
 
+// hashAt indexes the burst's cached hashes, tolerating a nil hash pass
+// (callers gate use on hashes != nil).
+func hashAt(hashes []uint64, i int) uint64 {
+	if hashes == nil {
+		return 0
+	}
+	return hashes[i]
+}
+
+// promoteHashed installs ent into tiers [0, upto). When the burst's cached
+// flow hash for k is resident (hasHash), tiers implementing
+// HashedInstaller consume it instead of re-hashing the key — the batch
+// walk's install path, which is what lets SMC promotions ride the burst's
+// single hash pass.
+func (s *Switch) promoteHashed(k flow.Key, h uint64, hasHash bool, ent *cache.Entry, upto int) {
+	for i, upper := range s.tiers[:upto] {
+		if hasHash && s.hashedInst[i] != nil {
+			s.hashedInst[i].InstallHashed(k, h, ent)
+		} else {
+			upper.Install(k, ent)
+		}
+	}
+}
+
 // upcallOne settles one batch-walk miss: re-probe the authoritative tier
 // when a same-burst upcall may have covered the key, then fall to the
 // slow path. sweepCost is the scan cost the walk already accrued for the
-// key (the cost a scalar walk would report for the miss).
-func (s *Switch) upcallOne(now uint64, k flow.Key, sweepCost int, installs *int) Decision {
+// key (the cost a scalar walk would report for the miss); h/hasHash carry
+// the key's cached burst hash for the promotion path.
+func (s *Switch) upcallOne(now uint64, k flow.Key, h uint64, hasHash bool, sweepCost int, installs *int) Decision {
 	if *installs > 0 && s.installer != nil {
 		ent, cost, ok := s.installer.Lookup(k, now)
 		if ok {
 			s.tierHits[s.promoteTo]++
-			for _, upper := range s.tiers[:s.promoteTo] {
-				upper.Install(k, ent)
-			}
+			s.promoteHashed(k, h, hasHash, ent, s.promoteTo)
 			return Decision{Verdict: ent.Verdict, Path: s.installer.Path(), MasksScanned: cost}
 		}
 		sweepCost = cost
 	}
-	d, installed := s.upcall(now, k, sweepCost)
+	d, installed := s.upcallHashed(now, k, h, hasHash, sweepCost)
 	if installed {
 		*installs++
 	}
@@ -686,6 +703,12 @@ func (s *Switch) classifyTracked(now uint64, k flow.Key) (Decision, int, *cache.
 // whether a megaflow was installed (the batch tail uses it to decide when
 // later misses must re-probe).
 func (s *Switch) upcall(now uint64, k flow.Key, scanned int) (Decision, bool) {
+	return s.upcallHashed(now, k, 0, false, scanned)
+}
+
+// upcallHashed is upcall carrying the key's cached burst hash for the
+// promotion of the freshly installed megaflow.
+func (s *Switch) upcallHashed(now uint64, k flow.Key, h uint64, hasHash bool, scanned int) (Decision, bool) {
 	s.counters.Upcalls++
 	res := s.cls.Lookup(k)
 	v := cache.Verdict{Verdict: flowtable.Deny}
@@ -698,9 +721,7 @@ func (s *Switch) upcall(now uint64, k flow.Key, scanned int) (Decision, bool) {
 		if err != nil {
 			s.counters.InstallErr++
 		} else {
-			for _, upper := range s.tiers[:s.promoteTo] {
-				upper.Install(k, ent)
-			}
+			s.promoteHashed(k, h, hasHash, ent, s.promoteTo)
 			installed = true
 		}
 	}

@@ -1,0 +1,184 @@
+package dataplane
+
+import (
+	"policyinject/internal/cache"
+	"policyinject/internal/flow"
+	"policyinject/internal/flowtable"
+	"policyinject/internal/pkt"
+)
+
+// FrameBatch is the frame-first ingress unit: a burst of raw wire frames
+// with their ingress ports, plus the reusable key/hash/error scratch the
+// extract stage fills. It is the type a NIC rx queue (or a pcap replay, or
+// a traffic generator's FrameSource) hands to ProcessFrames, and it is
+// deliberately reusable — Reset and refill it every burst and the steady
+// state allocates nothing.
+//
+// Frames and InPorts are plain fields so callers can fill them directly;
+// the scratch below them is owned by Extract and the ProcessFrames
+// implementations.
+type FrameBatch struct {
+	Frames  [][]byte
+	InPorts []uint32
+
+	keys   []flow.Key
+	errs   []error
+	hashes []uint64
+
+	// Compaction scratch for bursts carrying malformed frames: the valid
+	// frames' keys and input indices, and the decisions of the compacted
+	// sub-burst. Kept separate from keys so Key(i) stays frame-aligned.
+	vkeys    []flow.Key
+	validIdx []int
+	vout     []Decision
+}
+
+// Reset empties the batch for refilling, keeping all capacity.
+func (fb *FrameBatch) Reset() {
+	fb.Frames = fb.Frames[:0]
+	fb.InPorts = fb.InPorts[:0]
+}
+
+// Append adds one frame received on inPort to the batch.
+func (fb *FrameBatch) Append(frame []byte, inPort uint32) {
+	fb.Frames = append(fb.Frames, frame)
+	fb.InPorts = append(fb.InPorts, inPort)
+}
+
+// Len returns the number of frames in the batch.
+func (fb *FrameBatch) Len() int { return len(fb.Frames) }
+
+// grow sizes the extract scratch for n frames.
+func (fb *FrameBatch) grow(n int) {
+	if cap(fb.keys) < n {
+		fb.keys = make([]flow.Key, n)
+		fb.errs = make([]error, n)
+	}
+	fb.keys = fb.keys[:n]
+	fb.errs = fb.errs[:n]
+}
+
+// Extract parses every frame into the batch's key scratch (one
+// pkt.ExtractBatch pass) and returns the keys, the per-frame error slots
+// and the number of malformed frames. The returned slices are the batch's
+// scratch: valid until the next Extract call.
+func (fb *FrameBatch) Extract() (keys []flow.Key, errs []error, bad int) {
+	fb.grow(fb.Len())
+	bad = pkt.ExtractBatch(fb.Frames, fb.InPorts, fb.keys, fb.errs)
+	return fb.keys, fb.errs, bad
+}
+
+// compactValid gathers the keys of cleanly parsed frames into the batch's
+// compaction scratch, recording each one's input index in validIdx.
+func (fb *FrameBatch) compactValid(keys []flow.Key, errs []error) []flow.Key {
+	fb.vkeys = fb.vkeys[:0]
+	fb.validIdx = fb.validIdx[:0]
+	for i := range keys {
+		if errs[i] == nil {
+			fb.vkeys = append(fb.vkeys, keys[i])
+			fb.validIdx = append(fb.validIdx, i)
+		}
+	}
+	return fb.vkeys
+}
+
+// Err returns frame i's parse outcome from the last Extract (nil for a
+// clean decode).
+func (fb *FrameBatch) Err(i int) error { return fb.errs[i] }
+
+// Key returns frame i's extracted key from the last Extract. Only
+// meaningful when Err(i) is nil.
+func (fb *FrameBatch) Key(i int) flow.Key { return fb.keys[i] }
+
+// denyDecision is the decision a malformed frame receives: dropped without
+// entering the classifier, as a real datapath discards what it cannot
+// parse.
+func denyDecision() Decision {
+	return Decision{Verdict: cache.Verdict{Verdict: flowtable.Deny}}
+}
+
+// ProcessFrames runs a burst of raw frames through the whole pipeline —
+// extract, per-burst hash pass, batched tier walk — writing one Decision
+// per frame into out (grown if needed) and returning it. This is the
+// first-class ingress of the switch: the wire burst, not the packet and
+// not the pre-parsed key, is the unit of work, so the measured per-packet
+// cost finally includes the parse stage the scalar entry point hid.
+//
+// Malformed frames do not abort the burst: each gets a Deny decision, a
+// switch-level ParseError and per-port RxErrors/RxDropped accounting (read
+// the per-frame cause via fb.Err), and the remaining frames classify as
+// one compacted sub-burst. On well-formed traffic the decisions and
+// counters are exactly those of a scalar Process loop, with the batch
+// visibility rule of ProcessBatch (duplicate keys in non-consecutive runs
+// may answer from a lower tier; verdicts are identical either way).
+func (s *Switch) ProcessFrames(now uint64, fb *FrameBatch, out []Decision) []Decision {
+	n := fb.Len()
+	out = GrowDecisions(out, n)
+	if n == 0 {
+		return out
+	}
+	keys, errs, bad := fb.Extract()
+	s.counters.Packets += uint64(n)
+	for i, frame := range fb.Frames {
+		if p := s.ports[fb.InPorts[i]]; p != nil {
+			p.RxPackets++
+			p.RxBytes += uint64(len(frame))
+		}
+		if errs[i] != nil {
+			s.counters.ParseError++
+			if p := s.ports[fb.InPorts[i]]; p != nil {
+				p.RxErrors++
+				p.RxDropped++
+			}
+			out[i] = denyDecision()
+		}
+	}
+
+	if bad == 0 {
+		s.processFrameKeys(now, keys, out)
+		for i, d := range out {
+			s.accountTx(fb.InPorts[i], len(fb.Frames[i]), d)
+		}
+		return out
+	}
+
+	// Compact the parseable frames into one contiguous sub-burst (into the
+	// batch's separate compaction scratch, so Key(i) stays frame-aligned),
+	// classify it, and scatter the decisions back to input order.
+	vkeys := fb.compactValid(keys, errs)
+	fb.vout = GrowDecisions(fb.vout, len(vkeys))
+	s.processFrameKeys(now, vkeys, fb.vout)
+	for j, i := range fb.validIdx {
+		out[i] = fb.vout[j]
+		s.accountTx(fb.InPorts[i], len(fb.Frames[i]), fb.vout[j])
+	}
+	return out
+}
+
+// processFrameKeys runs the extracted keys of a frame burst through the
+// batched tier walk, computing the burst's flow hashes once when some tier
+// consumes them (the frame path owns the hash pass, so SMC fingerprints
+// and hashed installs all reuse it).
+func (s *Switch) processFrameKeys(now uint64, keys []flow.Key, out []Decision) {
+	var hashes []uint64
+	if s.needHashes && len(keys) > 1 {
+		fb := &s.frameHash
+		*fb = flow.HashKeys(keys, *fb)
+		hashes = *fb
+	}
+	s.processBatch(now, keys, hashes, out)
+}
+
+// accountTx settles frame-level port counters for one classified frame.
+func (s *Switch) accountTx(inPort uint32, frameLen int, d Decision) {
+	p := s.ports[inPort]
+	if p == nil {
+		return
+	}
+	if d.Verdict.Verdict == flowtable.Allow {
+		p.TxPackets++
+		p.TxBytes += uint64(frameLen)
+	} else {
+		p.RxDropped++
+	}
+}

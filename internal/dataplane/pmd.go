@@ -22,8 +22,64 @@ import (
 // many packets (or biasing the 5-tuples toward the victim's queue, where
 // the RSS function is known) restores the full count.
 type PMDPool struct {
-	pmds  []*Switch
-	lanes []pmdLane // ProcessBatch scratch, one lane per PMD
+	pmds   []*Switch
+	lanes  []pmdLane // ProcessBatch/ProcessFrames scratch, one lane per PMD
+	hashes []uint64  // the burst's cached flow hashes (steering + tier walks)
+}
+
+// steerLanes clears the lanes and scatters keys (with their precomputed
+// flow hashes) to their RSS-selected PMDs, recording each key's input
+// index. idx maps key position to input position (nil: identity), so the
+// frame path can steer a compacted sub-burst while scattering decisions
+// back to frame order.
+func (p *PMDPool) steerLanes(keys []flow.Key, hashes []uint64, idx []int) {
+	if p.lanes == nil {
+		p.lanes = make([]pmdLane, len(p.pmds))
+	}
+	for i := range p.lanes {
+		l := &p.lanes[i]
+		l.idx = l.idx[:0]
+		l.keys = l.keys[:0]
+		l.hashes = l.hashes[:0]
+	}
+	nPMD := uint64(len(p.pmds))
+	for i, k := range keys {
+		h := hashes[i]
+		l := &p.lanes[h%nPMD]
+		pos := i
+		if idx != nil {
+			pos = idx[i]
+		}
+		l.idx = append(l.idx, pos)
+		l.keys = append(l.keys, k)
+		l.hashes = append(l.hashes, h)
+	}
+}
+
+// runLanes processes every non-empty lane as one sub-burst on its own PMD
+// goroutine, then scatters the decisions back to input order in out.
+func (p *PMDPool) runLanes(now uint64, out []Decision) {
+	var wg sync.WaitGroup
+	for li := range p.lanes {
+		l := &p.lanes[li]
+		if len(l.idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sw *Switch, l *pmdLane) {
+			defer wg.Done()
+			l.out = GrowDecisions(l.out, len(l.keys))
+			sw.counters.Packets += uint64(len(l.keys))
+			sw.processBatch(now, l.keys, l.hashes, l.out)
+		}(p.pmds[li], l)
+	}
+	wg.Wait()
+	for li := range p.lanes {
+		l := &p.lanes[li]
+		for j, i := range l.idx {
+			out[i] = l.out[j]
+		}
+	}
 }
 
 // pmdLane is one PMD's share of a burst: the key indices it owns (input
@@ -92,44 +148,47 @@ func (p *PMDPool) ProcessKey(now uint64, k flow.Key) Decision {
 // scatter/gather scratch.
 func (p *PMDPool) ProcessBatch(now uint64, keys []flow.Key, out []Decision) []Decision {
 	out = GrowDecisions(out, len(keys))
-	if p.lanes == nil {
-		p.lanes = make([]pmdLane, len(p.pmds))
+	p.hashes = flow.HashKeys(keys, p.hashes)
+	p.steerLanes(keys, p.hashes, nil)
+	p.runLanes(now, out)
+	return out
+}
+
+// ProcessFrames is the pool's frame-first ingress: one ExtractBatch pass,
+// one hash pass — the cached hashes steer RSS *and* feed each PMD's
+// batched tier walk, exactly once per frame — then per-PMD sub-bursts in
+// parallel. Decisions land in out (grown if needed) in frame order.
+//
+// Malformed frames never reach a PMD's classifier: each gets a Deny
+// decision and is billed (Packets, ParseError) to PMD 0, the default
+// queue a NIC steers unparseable frames to since RSS has no fields to
+// hash. The pool does no per-port byte/packet accounting on any path —
+// ports are a single-switch concept the pool does not replicate — so use
+// Switch.ProcessFrames where port counters matter. Not safe for
+// concurrent use.
+func (p *PMDPool) ProcessFrames(now uint64, fb *FrameBatch, out []Decision) []Decision {
+	n := fb.Len()
+	out = GrowDecisions(out, n)
+	if n == 0 {
+		return out
 	}
-	for i := range p.lanes {
-		l := &p.lanes[i]
-		l.idx = l.idx[:0]
-		l.keys = l.keys[:0]
-		l.hashes = l.hashes[:0]
-	}
-	nPMD := uint64(len(p.pmds))
-	for i, k := range keys {
-		h := k.Hash()
-		l := &p.lanes[h%nPMD]
-		l.idx = append(l.idx, i)
-		l.keys = append(l.keys, k)
-		l.hashes = append(l.hashes, h)
-	}
-	var wg sync.WaitGroup
-	for li := range p.lanes {
-		l := &p.lanes[li]
-		if len(l.idx) == 0 {
-			continue
+	keys, errs, bad := fb.Extract()
+	var idx []int
+	if bad > 0 {
+		keys = fb.compactValid(keys, errs)
+		idx = fb.validIdx
+		pmd0 := p.pmds[0]
+		pmd0.counters.Packets += uint64(bad)
+		pmd0.counters.ParseError += uint64(bad)
+		for i, err := range errs {
+			if err != nil {
+				out[i] = denyDecision()
+			}
 		}
-		wg.Add(1)
-		go func(sw *Switch, l *pmdLane) {
-			defer wg.Done()
-			l.out = GrowDecisions(l.out, len(l.keys))
-			sw.counters.Packets += uint64(len(l.keys))
-			sw.processBatch(now, l.keys, l.hashes, l.out)
-		}(p.pmds[li], l)
 	}
-	wg.Wait()
-	for li := range p.lanes {
-		l := &p.lanes[li]
-		for j, i := range l.idx {
-			out[i] = l.out[j]
-		}
-	}
+	p.hashes = flow.HashKeys(keys, p.hashes)
+	p.steerLanes(keys, p.hashes, idx)
+	p.runLanes(now, out)
 	return out
 }
 

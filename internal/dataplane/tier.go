@@ -63,6 +63,18 @@ type HashUser interface {
 	UsesFlowHashes()
 }
 
+// HashedInstaller is the install-side counterpart of HashUser: a tier
+// whose Install can consume the burst's cached flow hash instead of
+// re-hashing the key. The batched tier walk's promotion and upcall-install
+// paths prefer it whenever the burst's hash pass ran; Install remains the
+// scalar fallback and must have identical effects given hash ==
+// k.Hash(). Declaring it also makes the switch run the batch-entry hash
+// pass.
+type HashedInstaller interface {
+	Tier
+	InstallHashed(k flow.Key, hash uint64, ent *cache.Entry)
+}
+
 // RunCoalescer is the same-flow run capability of a tier: billing n
 // further hits of a key's resident entry without re-probing, which is what
 // lets a burst of consecutive identical keys (an elephant-flow burst)
@@ -179,8 +191,16 @@ func (t *SMCTier) AccountRun(ent *cache.Entry, n int, _ int, now uint64) bool {
 }
 
 func (t *SMCTier) Install(k flow.Key, ent *cache.Entry) { t.smc.Insert(k, ent) }
-func (t *SMCTier) Flush()                               { t.smc.Flush() }
-func (t *SMCTier) EvictIdle(uint64) int                 { return 0 } // stale refs invalidate lazily
+
+// InstallHashed is Install reusing the burst's cached flow hash: the SMC's
+// fingerprint is derived from the hash it was about to recompute, so batch
+// promotions skip one Key.Hash per install.
+func (t *SMCTier) InstallHashed(k flow.Key, hash uint64, ent *cache.Entry) {
+	t.smc.InsertHashed(k, hash, ent)
+}
+
+func (t *SMCTier) Flush()               { t.smc.Flush() }
+func (t *SMCTier) EvictIdle(uint64) int { return 0 } // stale refs invalidate lazily
 
 func (t *SMCTier) Stats() TierStats {
 	return TierStats{

@@ -35,11 +35,13 @@ import (
 )
 
 // Target is a dataplane under evaluation; both dataplane.Switch and
-// baseline.Switch satisfy it.
+// baseline.Switch satisfy it. The frame-first ProcessFrames entry is part
+// of the contract so sim.MeasureCost can drive wire bursts.
 type Target interface {
 	InstallRule(r flowtable.Rule) *flowtable.Rule
 	ProcessKey(now uint64, k flow.Key) dataplane.Decision
 	ProcessBatch(now uint64, keys []flow.Key, out []dataplane.Decision) []dataplane.Decision
+	ProcessFrames(now uint64, fb *dataplane.FrameBatch, out []dataplane.Decision) []dataplane.Decision
 }
 
 // Variant is a named dataplane configuration to evaluate.

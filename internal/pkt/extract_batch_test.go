@@ -1,0 +1,169 @@
+package pkt
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"policyinject/internal/flow"
+)
+
+// corpusFrames builds the wire-shape corpus the batch-equivalence tests
+// sweep: every L3/L4 combination the builder produces, ARP, VLAN tags,
+// fragments, unsupported protocols, and every truncation prefix of a
+// known-good frame — the shapes that exercise both the fast path and
+// every fallback branch of ExtractBatch.
+func corpusFrames(t testing.TB) [][]byte {
+	t.Helper()
+	v4a, v4b := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("172.16.0.2")
+	v6a, v6b := netip.MustParseAddr("2001:db8::1"), netip.MustParseAddr("2001:db8::2")
+	frames := [][]byte{
+		MustBuild(Spec{Src: v4a, Dst: v4b, Proto: ProtoTCP, SrcPort: 40000, DstPort: 443}),
+		MustBuild(Spec{Src: v4a, Dst: v4b, Proto: ProtoTCP, SrcPort: 1, DstPort: 2, FrameLen: 1514, TCPFlags: TCPAck}),
+		MustBuild(Spec{Src: v4a, Dst: v4b, Proto: ProtoUDP, SrcPort: 53, DstPort: 53}),
+		MustBuild(Spec{Src: v4a, Dst: v4b, Proto: ProtoICMP, SrcPort: 8, DstPort: 0}),
+		MustBuild(Spec{Src: v4a, Dst: v4b, Proto: ProtoTCP, SrcPort: 7, DstPort: 7, VLAN: 0x2042}),
+		MustBuild(Spec{Src: v6a, Dst: v6b, Proto: ProtoTCP, SrcPort: 9, DstPort: 10}),
+		MustBuild(Spec{Src: v6a, Dst: v6b, Proto: ProtoUDP, SrcPort: 11, DstPort: 12, VLAN: 5}),
+		MustBuild(Spec{Src: v6a, Dst: v6b, Proto: ProtoICMPv6, SrcPort: 128, DstPort: 0}),
+		MustBuild(Spec{Src: v4a, Dst: v4b, Proto: ProtoTCP, SrcPort: 3, DstPort: 4, TOS: 0xb8}),
+		BuildARP(1, MAC{2, 0, 0, 0, 0, 1}, v4a, v4b, MAC{}),
+		BuildARP(2, MAC{2, 0, 0, 0, 0, 1}, v4a, v4b, MAC{2, 0, 0, 0, 0, 2}),
+		{}, // empty frame
+	}
+	// Unsupported EtherType and IP protocol.
+	weird := MustBuild(Spec{Src: v4a, Dst: v4b, Proto: ProtoTCP, SrcPort: 1, DstPort: 2})
+	badEth := append([]byte(nil), weird...)
+	badEth[12], badEth[13] = 0x88, 0xcc // LLDP
+	frames = append(frames, badEth)
+	badProto := append([]byte(nil), weird...)
+	badProto[EthHeaderLen+9] = 132 // SCTP
+	frames = append(frames, badProto)
+	// IPv4 options (IHL 6): fast path must fall back, scalar must agree.
+	opts := append([]byte(nil), weird...)
+	opts[EthHeaderLen] = 0x46
+	frames = append(frames, opts)
+	// Fragments: later fragment (offset != 0) and first fragment (MF set).
+	later := append([]byte(nil), weird...)
+	later[EthHeaderLen+6] = 0x00
+	later[EthHeaderLen+7] = 0x10
+	frames = append(frames, later)
+	first := append([]byte(nil), weird...)
+	first[EthHeaderLen+6] = 0x20
+	frames = append(frames, first)
+	// DF bit set: still the fast-path shape.
+	df := append([]byte(nil), weird...)
+	df[EthHeaderLen+6] = 0x40
+	frames = append(frames, df)
+	// Every truncation prefix of a TCP frame.
+	for n := 0; n < len(weird); n += 3 {
+		frames = append(frames, weird[:n])
+	}
+	// Round-trip the whole corpus through the pcap writer/reader: the
+	// capture path must deliver bit-identical frames into the batch.
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, frames, 10); err != nil {
+		t.Fatalf("WritePcap: %v", err)
+	}
+	rt, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatalf("ReadPcap: %v", err)
+	}
+	return append(frames, rt...)
+}
+
+// checkBatchEqualsScalar pins the ExtractBatch contract: identical keys
+// and identical errors (same nil-ness, same message) to a frame-by-frame
+// Extract loop, plus a correct malformed-frame count.
+func checkBatchEqualsScalar(t testing.TB, frames [][]byte, inPorts []uint32) {
+	t.Helper()
+	keys := make([]flow.Key, len(frames))
+	errs := make([]error, len(frames))
+	bad := ExtractBatch(frames, inPorts, keys, errs)
+	wantBad := 0
+	for i, f := range frames {
+		wantK, wantErr := Extract(f, inPorts[i])
+		if wantErr != nil {
+			wantBad++
+		}
+		if keys[i] != wantK {
+			t.Fatalf("frame %d (%d bytes): batch key %v != scalar key %v", i, len(f), keys[i], wantK)
+		}
+		if (errs[i] == nil) != (wantErr == nil) {
+			t.Fatalf("frame %d: batch err %v, scalar err %v", i, errs[i], wantErr)
+		}
+		if errs[i] != nil && errs[i].Error() != wantErr.Error() {
+			t.Fatalf("frame %d: batch err %q != scalar err %q", i, errs[i], wantErr)
+		}
+	}
+	if bad != wantBad {
+		t.Fatalf("ExtractBatch reported %d malformed frames, scalar loop found %d", bad, wantBad)
+	}
+}
+
+// TestExtractBatchEqualsScalarLoop is the batch==scalar property over the
+// built-frame and pcap corpus, with varied in-ports.
+func TestExtractBatchEqualsScalarLoop(t *testing.T) {
+	frames := corpusFrames(t)
+	inPorts := make([]uint32, len(frames))
+	for i := range inPorts {
+		inPorts[i] = uint32(i % 7)
+	}
+	checkBatchEqualsScalar(t, frames, inPorts)
+}
+
+// TestExtractBatchCountsMalformed pins the per-frame error policy: a
+// malformed frame fills its own error slot and the others still decode.
+func TestExtractBatchCountsMalformed(t *testing.T) {
+	good := MustBuild(Spec{
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+		Proto: ProtoTCP, SrcPort: 1, DstPort: 2,
+	})
+	frames := [][]byte{good, good[:10], good}
+	keys := make([]flow.Key, 3)
+	errs := make([]error, 3)
+	if bad := ExtractBatch(frames, []uint32{1, 1, 1}, keys, errs); bad != 1 {
+		t.Fatalf("bad = %d, want 1", bad)
+	}
+	if errs[0] != nil || errs[2] != nil || errs[1] == nil {
+		t.Fatalf("error slots: %v", errs)
+	}
+	if keys[0] != keys[2] {
+		t.Fatal("identical frames decoded to different keys")
+	}
+}
+
+// TestExtractBatchPanicsOnLengthMismatch pins the no-silent-truncation
+// contract.
+func TestExtractBatchPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched slice lengths did not panic")
+		}
+	}()
+	ExtractBatch(make([][]byte, 2), make([]uint32, 2), make([]flow.Key, 1), make([]error, 2))
+}
+
+// BenchmarkExtractBatch measures the amortised parse cost of the burst
+// path against the scalar loop (see BenchmarkExtract for the single-frame
+// baseline).
+func BenchmarkExtractBatch(b *testing.B) {
+	frame := MustBuild(Spec{
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+		Proto: ProtoTCP, SrcPort: 40000, DstPort: 443, FrameLen: 1514,
+	})
+	const n = 256
+	frames := make([][]byte, n)
+	inPorts := make([]uint32, n)
+	for i := range frames {
+		frames[i] = frame
+		inPorts[i] = 1
+	}
+	keys := make([]flow.Key, n)
+	errs := make([]error, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractBatch(frames, inPorts, keys, errs)
+	}
+	b.ReportMetric(n, "burst")
+}

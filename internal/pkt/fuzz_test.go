@@ -41,6 +41,31 @@ func FuzzExtract(f *testing.F) {
 	})
 }
 
+// FuzzExtractBatch: whatever two frames arrive from the wire, the burst
+// decoder must agree bit-for-bit with a scalar Extract loop — same keys,
+// same errors — including the fast-path/fallback boundary the split
+// across two frames probes.
+func FuzzExtractBatch(f *testing.F) {
+	tcp := MustBuild(Spec{
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+		Proto: ProtoTCP, SrcPort: 1, DstPort: 2,
+	})
+	udp := MustBuild(Spec{
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+		Proto: ProtoUDP, SrcPort: 53, DstPort: 53,
+	})
+	f.Add([]byte{}, []byte{})
+	f.Add(tcp, udp)
+	f.Add(tcp[:20], tcp)
+	f.Add(udp, MustBuild(Spec{
+		Src: netip.MustParseAddr("2001:db8::1"), Dst: netip.MustParseAddr("2001:db8::2"),
+		Proto: ProtoICMPv6, SrcPort: 128,
+	}))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		checkBatchEqualsScalar(t, [][]byte{a, b}, []uint32{3, 9})
+	})
+}
+
 // FuzzPcapRead: the capture parser must never panic and, for files our own
 // writer produced, must round-trip exactly.
 func FuzzPcapRead(f *testing.F) {

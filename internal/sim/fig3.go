@@ -163,7 +163,14 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	for i := range covertKeys {
 		covertKeys[i].Set(flow.FieldInPort, uint64(attackerPod.Port))
 	}
-	replay := traffic.NewReplayer(covertKeys)
+	// The covert stream enters through the frame-first door like everything
+	// else: the attack's wire frames (attack.Frames) replayed in bursts at
+	// the attacker pod's port.
+	covertFrames, err := atk.Frames()
+	if err != nil {
+		return nil, err
+	}
+	replay := traffic.NewReplayer(covertKeys).WithFrames(covertFrames, attackerPod.Port)
 	covertPPS := cfg.CovertPPS
 	if covertPPS == 0 {
 		// Cycle the full sequence every 2.5 s: fast enough to beat the
@@ -182,6 +189,8 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	}
 
 	injected := false
+	var covertBurst dataplane.FrameBatch
+	var covertOut []dataplane.Decision
 	for t := 0; t < cfg.Duration; t++ {
 		now := uint64(t)
 		// 1. Attacker: inject the policy just before streaming starts.
@@ -199,11 +208,13 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 			}
 			injected = true
 		}
-		// 2. Covert stream for this tick.
+		// 2. Covert stream for this tick, as one wire burst.
 		if injected {
+			covertBurst.Reset()
 			for i := pacer.Take(1); i > 0; i-- {
-				sw.ProcessKey(now, replay.Next())
+				covertBurst.Append(replay.NextFrame())
 			}
+			covertOut = sw.ProcessFrames(now, &covertBurst, covertOut)
 		}
 		// 3. Victim throughput: measure real per-packet cost now.
 		cost := MeasureCost(sw, victim, now, cfg.CostSamples)

@@ -20,17 +20,23 @@ import (
 )
 
 // Pipeline is the surface the simulator drives; dataplane.Switch,
-// dataplane.PMDPool and baseline.Switch all satisfy it. Batching is the
-// primary interface: the simulator hands whole bursts to the pipeline, as
-// a NIC rx queue would.
+// dataplane.PMDPool and baseline.Switch all satisfy it. The wire burst is
+// the primary interface: the simulator hands whole frame bursts to
+// ProcessFrames, as a NIC rx queue would, so measured cost includes the
+// parse stage; ProcessBatch remains the key-level hook for generators
+// that have no wire rendering.
 type Pipeline interface {
 	ProcessKey(now uint64, k flow.Key) dataplane.Decision
 	ProcessBatch(now uint64, keys []flow.Key, out []dataplane.Decision) []dataplane.Decision
+	ProcessFrames(now uint64, fb *dataplane.FrameBatch, out []dataplane.Decision) []dataplane.Decision
 }
 
 // MeasureCost measures the per-packet processing cost of p for the
 // generator's traffic at the pipeline's current state, by timing real
-// ProcessBatch calls over generated bursts. It adapts the sample count so
+// burst calls over generated bursts. When gen is a traffic.FrameSource
+// the bursts are raw wire frames through ProcessFrames — end-to-end cost,
+// parsing included, the regime the paper's Figure 3 studies; otherwise
+// pre-extracted keys through ProcessBatch. It adapts the sample count so
 // each timed region is long enough to dominate clock granularity, runs
 // several independent rounds, and returns the cheapest round — the
 // minimum estimator, which discards descheduling noise that a mean would
@@ -42,7 +48,9 @@ func MeasureCost(p Pipeline, gen traffic.Generator, now uint64, minSamples int) 
 	if minSamples < 16 {
 		minSamples = 16
 	}
+	fs, frameDriven := gen.(traffic.FrameSource)
 	keys := make([]flow.Key, minSamples)
+	var fb dataplane.FrameBatch
 	var out []dataplane.Decision
 	best := time.Duration(0)
 	for round := 0; round < 3; round++ {
@@ -50,13 +58,23 @@ func MeasureCost(p Pipeline, gen traffic.Generator, now uint64, minSamples int) 
 		samples := 0
 		var elapsed time.Duration
 		for elapsed < minElapsed || samples < minSamples {
-			for i := range keys {
-				keys[i] = gen.Next()
+			var start time.Time
+			if frameDriven {
+				fb.Reset()
+				for i := 0; i < minSamples; i++ {
+					fb.Append(fs.NextFrame())
+				}
+				start = time.Now()
+				out = p.ProcessFrames(now, &fb, out)
+			} else {
+				for i := range keys {
+					keys[i] = gen.Next()
+				}
+				start = time.Now()
+				out = p.ProcessBatch(now, keys, out)
 			}
-			start := time.Now()
-			out = p.ProcessBatch(now, keys, out)
 			elapsed += time.Since(start)
-			samples += len(keys)
+			samples += minSamples
 			if samples > 1<<20 {
 				break // pathological clock; avoid spinning forever
 			}

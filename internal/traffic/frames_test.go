@@ -1,0 +1,125 @@
+package traffic
+
+import (
+	"net/netip"
+	"testing"
+
+	"policyinject/internal/flow"
+	"policyinject/internal/pkt"
+)
+
+// extractBack parses a generated frame back into a key, failing the test
+// on a parse error — generator frames must always be well-formed.
+func extractBack(t *testing.T, frame []byte, inPort uint32) flow.Key {
+	t.Helper()
+	k, err := pkt.Extract(frame, inPort)
+	if err != nil {
+		t.Fatalf("generator emitted unparseable frame: %v", err)
+	}
+	return k
+}
+
+// sameTuple fails unless the frame-extracted key carries exactly the
+// generator key's five-tuple and in-port (the frame adds L2 fields the
+// key path leaves zero; the classifier-relevant fields must agree).
+func sameTuple(t *testing.T, want flow.Key, frame []byte, inPort uint32) {
+	t.Helper()
+	got := extractBack(t, frame, inPort)
+	if got.Tuple() != want.Tuple() {
+		t.Fatalf("frame tuple %+v != key tuple %+v", got.Tuple(), want.Tuple())
+	}
+	if got.Get(flow.FieldInPort) != want.Get(flow.FieldInPort) {
+		t.Fatalf("in_port %d != %d", got.Get(flow.FieldInPort), want.Get(flow.FieldInPort))
+	}
+}
+
+func TestVictimFramesMatchKeys(t *testing.T) {
+	mk := func() *Victim {
+		return NewVictim(VictimConfig{
+			Src:    netip.MustParseAddr("10.10.0.5"),
+			Dst:    netip.MustParseAddr("172.16.0.2"),
+			InPort: 3,
+		})
+	}
+	keyGen, frameGen := mk(), mk()
+	for i := 0; i < 20; i++ {
+		want := keyGen.Next()
+		frame, inPort := frameGen.NextFrame()
+		if len(frame) != keyGen.FrameLen() {
+			t.Fatalf("frame %d: %d bytes, want %d", i, len(frame), keyGen.FrameLen())
+		}
+		sameTuple(t, want, frame, inPort)
+	}
+}
+
+// TestVictimSharedCursor pins that Next and NextFrame advance one stream.
+func TestVictimSharedCursor(t *testing.T) {
+	v := NewVictim(VictimConfig{
+		Src: netip.MustParseAddr("10.10.0.5"), Dst: netip.MustParseAddr("172.16.0.2"),
+	})
+	first := v.Next()
+	frame, inPort := v.NextFrame()
+	second := extractBack(t, frame, inPort)
+	if first.Tuple() == second.Tuple() {
+		t.Fatal("NextFrame did not advance the round-robin cursor")
+	}
+}
+
+func TestMixFramesMatchKeys(t *testing.T) {
+	cfg := MixConfig{Seed: 7, NFlows: 64, InPort: 2, FrameLen: 256}
+	keyGen, frameGen := NewMix(cfg), NewMix(cfg)
+	for i := 0; i < 50; i++ {
+		want := keyGen.Next()
+		frame, inPort := frameGen.NextFrame()
+		if len(frame) != cfg.FrameLen {
+			t.Fatalf("frame %d: %d bytes, want %d", i, len(frame), cfg.FrameLen)
+		}
+		sameTuple(t, want, frame, inPort)
+	}
+}
+
+func TestReplayerWithFrames(t *testing.T) {
+	keys := []flow.Key{
+		flow.FiveTuple{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"), Proto: 6, SrcPort: 1, DstPort: 2}.Key(9),
+		flow.FiveTuple{Src: netip.MustParseAddr("10.0.0.3"), Dst: netip.MustParseAddr("10.0.0.2"), Proto: 6, SrcPort: 3, DstPort: 4}.Key(9),
+	}
+	frames := [][]byte{{1}, {2}}
+	r := NewReplayer(keys).WithFrames(frames, 9)
+	for i := 0; i < 5; i++ {
+		f, inPort := r.NextFrame()
+		if inPort != 9 || f[0] != byte(1+i%2) {
+			t.Fatalf("cycle %d: frame %v port %d", i, f, inPort)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched frame count did not panic")
+		}
+	}()
+	NewReplayer(keys).WithFrames([][]byte{{1}}, 9)
+}
+
+// TestPlainReplayerIsNotAFrameSource pins the opt-in design: a Replayer
+// without attached frames must not satisfy FrameSource (its keys may
+// carry fields or protocols no builder rendering could round-trip), so
+// sim.MeasureCost keeps such replays on the key path. The FrameReplayer
+// view shares the cursor with the underlying Replayer.
+func TestPlainReplayerIsNotAFrameSource(t *testing.T) {
+	keys := []flow.Key{
+		flow.FiveTuple{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"), Proto: 17, SrcPort: 53, DstPort: 53}.Key(4),
+		flow.FiveTuple{Src: netip.MustParseAddr("10.0.0.9"), Dst: netip.MustParseAddr("10.0.0.2"), Proto: 6, SrcPort: 99, DstPort: 443}.Key(7),
+	}
+	var gen Generator = NewReplayer(keys)
+	if _, ok := gen.(FrameSource); ok {
+		t.Fatal("plain Replayer must not be a FrameSource")
+	}
+	fr := NewReplayer(keys).WithFrames([][]byte{{1}, {2}}, 4)
+	if _, ok := any(fr).(FrameSource); !ok {
+		t.Fatal("FrameReplayer must be a FrameSource")
+	}
+	fr.NextFrame() // advances the shared cursor...
+	if got := fr.Next(); got != keys[1] {
+		t.Fatalf("cursor not shared: got %v", got)
+	}
+}

@@ -11,11 +11,35 @@ import (
 	"net/netip"
 
 	"policyinject/internal/flow"
+	"policyinject/internal/pkt"
 )
 
 // Generator produces the next packet of a stream as a flow key.
 type Generator interface {
 	Next() flow.Key
+}
+
+// FrameSource is the wire-level capability of a generator: the next packet
+// as a raw Ethernet frame plus its ingress port, ready for the dataplane's
+// frame-first ingress (dataplane.FrameBatch / ProcessFrames). All stock
+// generators implement it; frame and key cursors are shared, so a consumer
+// may interleave Next and NextFrame and see one stream.
+type FrameSource interface {
+	NextFrame() (frame []byte, inPort uint32)
+}
+
+// frameForKey renders a generator key as the wire frame the dataplane
+// would have parsed it from (pkt.Build over the key's five-tuple, padded
+// to frameLen). The frame re-extracts to the same L3/L4 fields; L2 fields
+// the key path leaves zero (MACs, TCP flags) carry the builder defaults,
+// exactly as real wire traffic would.
+func frameForKey(k flow.Key, frameLen int) []byte {
+	t := k.Tuple()
+	return pkt.MustBuild(pkt.Spec{
+		Src: t.Src, Dst: t.Dst, Proto: t.Proto,
+		SrcPort: t.SrcPort, DstPort: t.DstPort,
+		FrameLen: frameLen,
+	})
 }
 
 // VictimConfig describes the victim workload: an iperf-like transfer of
@@ -30,11 +54,13 @@ type VictimConfig struct {
 }
 
 // Victim is the victim stream generator: round-robins its flows,
-// producing a stable set of Flows distinct 5-tuples.
+// producing a stable set of Flows distinct 5-tuples (and, via NextFrame,
+// the matching MTU-sized wire frames).
 type Victim struct {
-	cfg  VictimConfig
-	keys []flow.Key
-	next int
+	cfg    VictimConfig
+	keys   []flow.Key
+	frames [][]byte // lazily built, aligned with keys
+	next   int
 }
 
 // NewVictim builds the victim generator.
@@ -68,6 +94,20 @@ func (v *Victim) Next() flow.Key {
 	return k
 }
 
+// NextFrame returns the next packet as a wire frame (FrameLen bytes) with
+// its ingress port, advancing the same round-robin cursor as Next.
+func (v *Victim) NextFrame() ([]byte, uint32) {
+	if v.frames == nil {
+		v.frames = make([][]byte, len(v.keys))
+		for i, k := range v.keys {
+			v.frames[i] = frameForKey(k, v.cfg.FrameLen)
+		}
+	}
+	f := v.frames[v.next]
+	v.next = (v.next + 1) % len(v.keys)
+	return f, v.cfg.InPort
+}
+
 // FrameLen returns the configured frame size in bytes.
 func (v *Victim) FrameLen() int { return v.cfg.FrameLen }
 
@@ -79,19 +119,23 @@ func (v *Victim) Flows() []flow.Key { return append([]flow.Key(nil), v.keys...) 
 // skewed (approximately Zipfian) popularity so a handful of flows carry
 // most packets — the traffic shape flow caches are designed for.
 type MixConfig struct {
-	Seed   uint64
-	NFlows int // default 1000
-	Subnet netip.Prefix
-	DstIP  netip.Addr
-	InPort uint32
-	Skew   float64 // 0 = uniform, 1 = heavy head; default 0.8
+	Seed     uint64
+	NFlows   int // default 1000
+	Subnet   netip.Prefix
+	DstIP    netip.Addr
+	InPort   uint32
+	Skew     float64 // 0 = uniform, 1 = heavy head; default 0.8
+	FrameLen int     // wire frame size for NextFrame; 0 = minimal frames
 }
 
 // Mix is the benign mix generator.
 type Mix struct {
-	keys []flow.Key
-	lcg  uint64
-	skew float64
+	keys     []flow.Key
+	frames   [][]byte // lazily built, aligned with keys
+	lcg      uint64
+	skew     float64
+	inPort   uint32
+	frameLen int
 }
 
 // NewMix builds the mix.
@@ -108,7 +152,10 @@ func NewMix(cfg MixConfig) *Mix {
 	if !cfg.DstIP.IsValid() {
 		cfg.DstIP = netip.MustParseAddr("172.16.0.2")
 	}
-	m := &Mix{lcg: cfg.Seed*2862933555777941757 + 3037000493, skew: cfg.Skew}
+	m := &Mix{
+		lcg: cfg.Seed*2862933555777941757 + 3037000493, skew: cfg.Skew,
+		inPort: cfg.InPort, frameLen: cfg.FrameLen,
+	}
 	base := flow.V4(cfg.Subnet.Addr())
 	span := uint64(1) << uint(32-cfg.Subnet.Bits())
 	for i := 0; i < cfg.NFlows; i++ {
@@ -130,21 +177,42 @@ func NewMix(cfg MixConfig) *Mix {
 // Next draws the next packet with skewed flow popularity: flow index
 // floor(n^(u^(1/(1-skew)))) approximated by exponentiating a uniform draw.
 func (m *Mix) Next() flow.Key {
+	return m.keys[m.draw()]
+}
+
+// NextFrame draws the next packet as a wire frame with its ingress port,
+// advancing the same skewed PRNG as Next.
+func (m *Mix) NextFrame() ([]byte, uint32) {
+	if m.frames == nil {
+		m.frames = make([][]byte, len(m.keys))
+		for i, k := range m.keys {
+			m.frames[i] = frameForKey(k, m.frameLen)
+		}
+	}
+	return m.frames[m.draw()], m.inPort
+}
+
+// draw advances the PRNG and picks the next flow index with the
+// configured skew (push the uniform draw toward the head of the list).
+func (m *Mix) draw() int {
 	m.lcg = m.lcg*6364136223846793005 + 1442695040888963407
 	u := float64(m.lcg>>11) / (1 << 53)
-	// Skew: push the uniform draw toward 0 (the head of the key list).
 	idx := int(math.Pow(u, 1/(1-m.skew*0.999)) * float64(len(m.keys)))
 	if idx >= len(m.keys) {
 		idx = len(m.keys) - 1
 	}
-	return m.keys[idx]
+	return idx
 }
 
 // NFlows returns the number of distinct flows.
 func (m *Mix) NFlows() int { return len(m.keys) }
 
 // Replayer cycles through a fixed key sequence — the attacker's covert
-// stream (attack.Keys) replayed forever at low rate.
+// stream (attack.Keys) replayed forever at low rate. A plain Replayer is
+// deliberately *not* a FrameSource: replay keys may carry fields no wire
+// rendering could round-trip (or protocols the builder does not speak),
+// so the frame capability is opt-in via WithFrames, which takes the
+// faithful frames the caller already has (e.g. attack.Frames).
 type Replayer struct {
 	keys []flow.Key
 	next int
@@ -158,11 +226,43 @@ func NewReplayer(keys []flow.Key) *Replayer {
 	return &Replayer{keys: append([]flow.Key(nil), keys...)}
 }
 
+// WithFrames attaches the wire rendering of the replay sequence —
+// frames[i] must be keys[i] on the wire — and the ingress port NextFrame
+// reports, returning the FrameSource view of the replayer (cursor
+// shared with r). It panics on a length mismatch.
+func (r *Replayer) WithFrames(frames [][]byte, inPort uint32) *FrameReplayer {
+	if len(frames) != len(r.keys) {
+		panic(fmt.Sprintf("traffic: %d frames for %d replay keys", len(frames), len(r.keys)))
+	}
+	return &FrameReplayer{
+		Replayer: r,
+		frames:   append([][]byte(nil), frames...),
+		inPort:   inPort,
+	}
+}
+
 // Next returns the next key in cyclic order.
 func (r *Replayer) Next() flow.Key {
 	k := r.keys[r.next]
 	r.next = (r.next + 1) % len(r.keys)
 	return k
+}
+
+// FrameReplayer is a Replayer with its wire rendering attached: the
+// Generator contract via the embedded Replayer plus the FrameSource
+// contract over the supplied frames, one shared cursor.
+type FrameReplayer struct {
+	*Replayer
+	frames [][]byte
+	inPort uint32
+}
+
+// NextFrame returns the next packet as a wire frame with its ingress
+// port, advancing the same cursor as Next.
+func (r *FrameReplayer) NextFrame() ([]byte, uint32) {
+	f := r.frames[r.next]
+	r.next = (r.next + 1) % len(r.keys)
+	return f, r.inPort
 }
 
 // Len returns the sequence length.
