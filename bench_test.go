@@ -22,6 +22,7 @@ import (
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
 	"policyinject/internal/pkt"
+	"policyinject/internal/revalidator"
 	"policyinject/internal/traffic"
 )
 
@@ -325,14 +326,57 @@ func BenchmarkUpcall(b *testing.B) {
 	}
 }
 
-// BenchmarkRevalidator — maintenance cost of the idle sweep at full attack
-// population (8192 masks / entries), per paper Fig. 3's steady state.
+// BenchmarkRevalidator — per-round cost of the clock-driven maintenance
+// actor: dump cost vs cache size (512- vs 8192-mask attack populations),
+// idle vs under covert-stream churn. The idle variant holds the cache
+// static (far-future max-idle) and re-checks every entry against the slow
+// path each round — dump cost proportional to the flow count the attacker
+// controls, which is exactly the lever behind the flow-limit backoff. The
+// churn variant keeps a 16th of the covert stream cycling per round with a
+// short max-idle, so each dump both expires idle flows and walks fresh
+// reinstalls.
 func BenchmarkRevalidator(b *testing.B) {
-	sw := attackSwitch(b, attack.ThreeField(), true, noEMC)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		// Sweep without evicting (deadline in the past keeps state).
-		sw.RunRevalidator(0)
+	for _, c := range []struct {
+		name string
+		atk  func() *attack.Attack
+	}{
+		{"masks512", attack.TwoField},
+		{"masks8192", attack.ThreeField},
+	} {
+		b.Run(c.name+"/idle", func(b *testing.B) {
+			sw := attackSwitch(b, c.atk(), true, noEMC)
+			rev := revalidator.New(revalidator.Config{MaxIdle: 1 << 40, PolicyCheck: true})
+			rev.Attach(sw)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rev.Tick(uint64(i))
+			}
+			b.ReportMetric(float64(rev.Stats().Last.Flows), "flows/dump")
+		})
+		b.Run(c.name+"/churn", func(b *testing.B) {
+			atk := c.atk()
+			sw := attackSwitch(b, atk, true, noEMC)
+			covert, err := atk.Keys()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range covert {
+				covert[i].Set(flow.FieldInPort, 66)
+			}
+			rev := revalidator.New(revalidator.Config{MaxIdle: 8})
+			rev.Attach(sw)
+			slice := len(covert) / 16
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now := uint64(i)
+				start := i * slice
+				for j := 0; j < slice; j++ {
+					sw.ProcessKey(now, covert[(start+j)%len(covert)])
+				}
+				rev.Tick(now)
+			}
+			b.ReportMetric(float64(rev.Stats().TotalIdleEvicted)/float64(b.N), "evictions/round")
+		})
 	}
 }
 

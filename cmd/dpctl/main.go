@@ -4,18 +4,23 @@
 //
 //	dpctl show                      switch and cache summary
 //	dpctl dump-rules                slow-path rules (ovs-ofctl style)
-//	dpctl dump-flows [-n 20]        megaflow cache entries
+//	dpctl dump-flows [-n 20]        megaflow cache entries (with flow ages)
 //	dpctl dump-masks [-n 20]        mask population with entry counts
+//	dpctl revalidator [-rounds 12]  run dump rounds, print stats + flow limit
 //	dpctl replay -pcap file.pcap    feed a capture through the scenario switch
 //	dpctl self-check                validate table invariants
 //
 // Add -attack to run the covert stream before dumping (default on for
-// dump-flows/dump-masks; -attack=false for the healthy view).
+// dump-flows/dump-masks; -attack=false for the healthy view). The
+// revalidator subcommand drives the covert stream itself, one cycle per
+// dump round, and prints the adaptive flow limit collapsing (-fixed to
+// pin it, -dump-rate to set the logical dump speed).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
 	"sort"
 
@@ -26,6 +31,7 @@ import (
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
 	"policyinject/internal/pkt"
+	"policyinject/internal/revalidator"
 	"policyinject/internal/traffic"
 )
 
@@ -38,15 +44,27 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	doAttack := fs.Bool("attack", cmd == "dump-flows" || cmd == "dump-masks", "run the covert stream first")
 	smc := fs.Bool("smc", false, "enable the OVS 2.10 signature-match cache tier")
-	fields := fs.String("fields", "ip_src,tp_dst", "attack fields")
+	// The revalidator demo defaults to the full three-field attack: its
+	// 8192 flows are what make the default-rate dump overrun and the flow
+	// limit visibly collapse.
+	defaultFields := "ip_src,tp_dst"
+	if cmd == "revalidator" {
+		defaultFields = "ip_src,tp_dst,tp_src"
+	}
+	fields := fs.String("fields", defaultFields, "attack fields")
 	n := fs.Int("n", 20, "entries to display")
 	pcapPath := fs.String("pcap", "", "replay: capture file to feed")
+	rounds := fs.Int("rounds", 12, "revalidator: dump rounds to run")
+	interval := fs.Uint64("interval", 5, "revalidator: dump interval in logical units")
+	dumpRate := fs.Float64("dump-rate", 64, "revalidator: flows dumped per worker per unit")
+	fixed := fs.Bool("fixed", false, "revalidator: disable the adaptive flow-limit heuristic")
 	fs.Parse(args)
 
-	sw, err := buildScenario(*fields, *doAttack, *smc)
+	sc, err := buildScenario(*fields, *doAttack, *smc)
 	if err != nil {
 		fatal(err)
 	}
+	sw := sc.sw
 
 	switch cmd {
 	case "show":
@@ -56,9 +74,11 @@ func main() {
 			fmt.Printf("%s  # %s\n", r, r.Comment)
 		}
 	case "dump-flows":
-		dumpFlows(sw, *n)
+		dumpFlows(sw, *n, scenarioNow)
 	case "dump-masks":
 		dumpMasks(sw, *n)
+	case "revalidator":
+		runRevalidator(sc, *rounds, *interval, *dumpRate, *fixed)
 	case "replay":
 		if err := replay(sw, *pcapPath); err != nil {
 			fatal(err)
@@ -72,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dpctl {show|dump-rules|dump-flows|dump-masks|self-check} [-attack] [-fields ...] [-n N]")
+	fmt.Fprintln(os.Stderr, "usage: dpctl {show|dump-rules|dump-flows|dump-masks|revalidator|replay|self-check} [-attack] [-fields ...] [-n N]")
 }
 
 func fatal(err error) {
@@ -80,10 +100,24 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// scenario is the assembled demo cluster plus the handles the subcommands
+// drive traffic with.
+type scenario struct {
+	sw           *dataplane.Switch
+	atk          *attack.Attack
+	victimIP     netip.Addr
+	victimPort   uint32
+	attackerPort uint32
+}
+
+// scenarioNow is the logical time after buildScenario's traffic (attack at
+// t=1, victim warmup at t=2) — the clock dump-flows ages against.
+const scenarioNow = 3
+
 // buildScenario assembles the paper's demo cluster: victim and attacker
 // pods sharing a hypervisor, victim policy installed, attacker policy
 // injected, and (optionally) the covert stream plus victim warm traffic.
-func buildScenario(fields string, execute, smc bool) (*dataplane.Switch, error) {
+func buildScenario(fields string, execute, smc bool) (*scenario, error) {
 	cluster := cms.NewCluster()
 	cluster.SwitchOpts = []dataplane.Option{dataplane.WithoutEMC()}
 	if smc {
@@ -137,7 +171,65 @@ func buildScenario(fields string, execute, smc bool) (*dataplane.Switch, error) 
 			sw.ProcessKey(2, victim.Next())
 		}
 	}
-	return sw, nil
+	return &scenario{
+		sw:           sw,
+		atk:          atk,
+		victimIP:     victimPod.IP,
+		victimPort:   victimPod.Port,
+		attackerPort: attackerPod.Port,
+	}, nil
+}
+
+// runRevalidator puts the scenario switch under a revalidator and drives
+// dump rounds with the covert stream cycling once per round (plus a victim
+// trickle), printing each round's dump stats and the flow limit's path —
+// the collapse, the staleness trims, and the per-worker shares.
+func runRevalidator(sc *scenario, rounds int, interval uint64, dumpRate float64, fixed bool) {
+	keys, err := sc.atk.Keys()
+	if err != nil {
+		fatal(err)
+	}
+	for i := range keys {
+		keys[i].Set(flow.FieldInPort, uint64(sc.attackerPort))
+	}
+	victim := traffic.NewVictim(traffic.VictimConfig{
+		Src: sc.victimIP, Dst: sc.victimIP, InPort: sc.victimPort,
+	})
+	rev := revalidator.New(revalidator.Config{
+		Interval:   interval,
+		DumpRate:   dumpRate,
+		FixedLimit: fixed,
+	})
+	rev.Attach(sc.sw)
+	fmt.Printf("# %d rounds, interval %d, dump rate %g flows/unit/worker, covert stream %d keys/round\n",
+		rounds, interval, dumpRate, len(keys))
+	now := uint64(1)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 64; i++ {
+			sc.sw.ProcessKey(now, victim.Next())
+		}
+		for _, k := range keys {
+			sc.sw.ProcessKey(now, k)
+		}
+		rev.Tick(now)
+		st := rev.Stats()
+		over := ""
+		if st.Last.Overrun {
+			over = " OVERRUN"
+		}
+		fmt.Printf("round %2d t=%-4d flows=%-6d dump=%6.2f/%d units%s  flow-limit=%-7d evicted idle=%d limit=%d\n",
+			r+1, now, st.Last.Flows, st.Last.Duration, interval, over,
+			st.FlowLimit, st.Last.IdleEvicted, st.Last.LimitEvicted)
+		now += interval
+	}
+	st := rev.Stats()
+	fmt.Println(st.String())
+	for wi, w := range st.PerWorker {
+		fmt.Printf("  worker %d: %d targets, %d flows, evicted idle=%d limit=%d policy=%d\n",
+			wi, w.Targets, w.Flows, w.IdleEvicted, w.LimitEvicted, w.PolicyFlushed)
+	}
+	fmt.Printf("megaflow cache now: %d entries, %d masks (flow limit %d)\n",
+		sc.sw.Megaflow().Len(), sc.sw.Megaflow().NumMasks(), sc.sw.Megaflow().FlowLimit())
 }
 
 func parseFields(csv string) ([]attack.TargetField, error) {
@@ -180,7 +272,7 @@ func splitComma(s string) []string {
 	return out
 }
 
-func dumpFlows(sw *dataplane.Switch, n int) {
+func dumpFlows(sw *dataplane.Switch, n int, now uint64) {
 	entries := sw.Megaflow().Entries()
 	fmt.Printf("# %d megaflow entries, %d masks (showing %d)\n",
 		len(entries), sw.Megaflow().NumMasks(), min(n, len(entries)))
@@ -188,7 +280,10 @@ func dumpFlows(sw *dataplane.Switch, n int) {
 		if i >= n {
 			break
 		}
-		fmt.Printf("%s, actions:%s, hits:%d\n", e.Match, e.Verdict, e.Hits)
+		// age: units since install; used: units since the last hit — the
+		// staleness the revalidator's idle sweep and limit trim key on.
+		fmt.Printf("%s, actions:%s, hits:%d, age:%d, used:%d\n",
+			e.Match, e.Verdict, e.Hits, now-e.Added, now-e.LastHit)
 	}
 }
 

@@ -5,6 +5,7 @@
 //	figures -fig masks       §2 mask-count table: 8 / 512 / 8192
 //	figures -fig sweep       §1-§2 degradation claims: cost vs mask count
 //	figures -fig 3           paper Fig. 3: victim throughput + megaflows over time
+//	figures -fig flowlimit   revalidator flow-limit collapse under the 8192-mask attack
 //	figures -fig mitigation  demo discussion: mitigation comparison
 //	figures -fig all         everything above
 //
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2b, masks, sweep, 3, mitigation, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2b, masks, sweep, 3, flowlimit, mitigation, all")
 	csv := flag.Bool("csv", false, "also print CSV/gnuplot data blocks")
 	duration := flag.Int("duration", 150, "fig 3: timeline length in seconds")
 	attackStart := flag.Int("attack-start", 60, "fig 3: covert stream start second")
@@ -50,6 +51,7 @@ func main() {
 	run("masks", figMasks)
 	run("sweep", figSweep)
 	run("3", func(csv bool) error { return fig3(csv, *duration, *attackStart, *quick) })
+	run("flowlimit", func(csv bool) error { return figFlowLimit(csv, *quick) })
 	run("mitigation", figMitigation)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
@@ -200,6 +202,56 @@ func fig3(csv bool, duration, attackStart int, quick bool) error {
 	return nil
 }
 
+// figFlowLimit plots the revalidator's flow-limit-vs-time curve under the
+// 8192-mask attack, adaptive heuristic against the fixed-limit control:
+// the limit collapses from the 200k ceiling to the 2k floor within a few
+// dump rounds of the covert stream landing, while the control holds flat
+// (and keeps every attacker flow resident).
+func figFlowLimit(csv bool, quick bool) error {
+	cfg := sim.FlowLimitConfig{}
+	masks := 8192
+	if quick {
+		// Smaller attack with a harder-overrunning dump, and a floor below
+		// the 512-flow residency, so the collapse reaches the floor and the
+		// staleness trim engages within the short timeline.
+		cfg = sim.FlowLimitConfig{Duration: 48, AttackStart: 8, Attack: attack.TwoField(),
+			Interval: 4, DumpRate: 16, MinFlowLimit: 256, FrameLen: 128}
+		masks = 512
+	}
+	header(fmt.Sprintf("Flow-limit collapse — revalidator backoff under the %d-mask attack", masks))
+	adaptive, err := sim.RunFlowLimit(cfg)
+	if err != nil {
+		return err
+	}
+	fixedCfg := cfg
+	fixedCfg.FixedLimit = true
+	fixed, err := sim.RunFlowLimit(fixedCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adaptive: %v\n", adaptive)
+	fmt.Printf("fixed:    %v\n", fixed)
+	limA, limF := adaptive.Timeline.Series("flow_limit"), fixed.Timeline.Series("flow_limit")
+	out := &metrics.Table{Header: []string{
+		"t", "flow_limit", "flow_limit(fixed)", "flows", "dump_units", "trimmed", "masks", "victim_gbps"}}
+	for i := 0; i < limA.Len(); i += 5 {
+		out.AddRow(limA.T[i], limA.V[i], limF.V[i],
+			adaptive.Timeline.Series("flows_dumped").V[i],
+			adaptive.Timeline.Series("dump_units").V[i],
+			adaptive.Timeline.Series("evicted_limit").V[i],
+			adaptive.Timeline.Series("mf_masks").V[i],
+			adaptive.Timeline.Series("victim_gbps").V[i])
+	}
+	fmt.Print(out.String())
+	fmt.Println("OVS heuristic: dump overruns 2x its interval -> limit cut by the overrun factor; healthy dumps regrow by 1000")
+	if csv {
+		fmt.Println(adaptive.Timeline.CSV())
+		limF.Name = "flow_limit_fixed"
+		fmt.Println(metrics.CSV(limF))
+	}
+	return nil
+}
+
 func figMitigation(bool) error {
 	header("Mitigation comparison under the 512-mask attack (demo discussion)")
 	outcomes, err := mitigation.Evaluate(attack.TwoField(), []mitigation.Variant{
@@ -210,6 +262,8 @@ func figMitigation(bool) error {
 		mitigation.SortedTSS(),
 		mitigation.MaskCap(64),
 		mitigation.MaskCapLRUSorted(64),
+		mitigation.FixedFlowLimit(),
+		mitigation.AdaptiveFlowLimit(),
 		mitigation.Stateful(),
 		mitigation.CacheLess(),
 	}, 256)

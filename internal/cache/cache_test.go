@@ -286,6 +286,99 @@ func TestMegaflowEvictIdle(t *testing.T) {
 	}
 }
 
+// exactIPMatch builds an exact-match on ip_src, one entry per ip.
+func exactIPMatch(ip uint64) flow.Match {
+	var m flow.Match
+	m.Key.Set(flow.FieldIPSrc, ip)
+	m.Mask.SetExact(flow.FieldIPSrc)
+	m.Normalize()
+	return m
+}
+
+// TestMegaflowSetFlowLimitAndTrim pins the dynamic-limit contract: cutting
+// the limit below the resident count rejects new inserts immediately, and
+// TrimToLimit then evicts exactly the stalest entries (oldest LastHit),
+// marking them dead and dropping emptied subtables.
+func TestMegaflowSetFlowLimitAndTrim(t *testing.T) {
+	m := NewMegaflow(MegaflowConfig{})
+	if m.FlowLimit() != DefaultFlowLimit {
+		t.Fatalf("default FlowLimit = %d", m.FlowLimit())
+	}
+	ents := make([]*Entry, 8)
+	for i := range ents {
+		var err error
+		ents[i], err = m.Insert(exactIPMatch(uint64(i)), allow, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep 5..7 warm.
+	for i := 5; i < 8; i++ {
+		if _, _, ok := m.Lookup(key(uint64(i), 0), 100); !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+	}
+	m.SetFlowLimit(3)
+	// The cut alone evicts nothing, but new inserts are already refused.
+	if m.Len() != 8 {
+		t.Fatalf("SetFlowLimit evicted eagerly: len=%d", m.Len())
+	}
+	if _, err := m.Insert(exactIPMatch(99), allow, 101); !errors.Is(err, ErrFlowLimit) {
+		t.Fatalf("insert over the cut limit: err=%v", err)
+	}
+	// Replacing an existing entry must still work at the limit.
+	if _, err := m.Insert(exactIPMatch(6), deny, 101); err != nil {
+		t.Fatalf("replace at the limit failed: %v", err)
+	}
+	if got := m.TrimToLimit(); got != 5 {
+		t.Fatalf("trimmed %d, want 5", got)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("len=%d after trim, want 3", m.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if !ents[i].Dead() {
+			t.Errorf("stale entry %d not marked dead", i)
+		}
+		if _, _, ok := m.Lookup(key(uint64(i), 0), 102); ok {
+			t.Errorf("stale entry %d still resident", i)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if _, _, ok := m.Lookup(key(uint64(i), 0), 102); !ok {
+			t.Errorf("warm entry %d was trimmed", i)
+		}
+	}
+	if m.TrimToLimit() != 0 {
+		t.Error("second trim evicted again")
+	}
+	// Raising the limit re-admits inserts.
+	m.SetFlowLimit(10)
+	if _, err := m.Insert(exactIPMatch(99), allow, 103); err != nil {
+		t.Fatalf("insert after raising the limit: %v", err)
+	}
+}
+
+// TestMegaflowRejectedInsertMintsNoMask is the regression for the
+// empty-subtable leak: an insert refused by the flow limit must not leave
+// a fresh mask in the scan order (the attacker would otherwise keep
+// inflating the mask count with every rejected flow).
+func TestMegaflowRejectedInsertMintsNoMask(t *testing.T) {
+	m := NewMegaflow(MegaflowConfig{FlowLimit: 1})
+	if _, err := m.Insert(exactIPMatch(1), allow, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Insert(prefixMatch(0x0a000000, 8), allow, 1); !errors.Is(err, ErrFlowLimit) {
+		t.Fatalf("err = %v, want ErrFlowLimit", err)
+	}
+	if m.NumMasks() != 1 {
+		t.Fatalf("rejected insert leaked a subtable: %d masks", m.NumMasks())
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
 func TestMegaflowRevalidate(t *testing.T) {
 	m := NewMegaflow(MegaflowConfig{})
 	m.Insert(prefixMatch(1<<24, 8), allow, 0)

@@ -250,6 +250,15 @@ func (m *Megaflow) Insert(match flow.Match, v Verdict, now uint64) (*Entry, erro
 	match.Normalize()
 	st := m.byMask[match.Mask]
 	if st == nil {
+		// The flow limit gates *before* a new subtable is minted: a mask
+		// with no subtable cannot hold the entry either, and creating one
+		// for a rejected insert would leak an empty subtable into the scan
+		// order — the attacker would keep inflating the mask count even
+		// with every flow refused, which matters once the revalidator cuts
+		// the limit below the covert stream's flow count.
+		if m.limit > 0 && m.nEntries >= m.limit {
+			return nil, ErrFlowLimit
+		}
 		if m.cfg.MaxMasks > 0 && len(m.subtables) >= m.cfg.MaxMasks {
 			if !m.cfg.MaskEvictLRU {
 				return nil, ErrMaskLimit
@@ -325,6 +334,80 @@ func (m *Megaflow) dropSubtable(st *mfSubtable) {
 			return
 		}
 	}
+}
+
+// FlowLimit returns the current entry limit (non-positive: unlimited).
+func (m *Megaflow) FlowLimit() int { return m.limit }
+
+// SetFlowLimit adjusts the entry limit at run time — the revalidator's
+// flow-limit lever (OVS's udpif flow_limit backoff). A non-positive n
+// removes the limit. Cutting the limit below the resident entry count does
+// not evict anything by itself: Insert starts rejecting new flows
+// immediately, and the next maintenance dump calls TrimToLimit to sweep
+// the stalest residents out.
+func (m *Megaflow) SetFlowLimit(n int) { m.limit = n }
+
+// TrimToLimit evicts the stalest entries — oldest LastHit, with Added and
+// the match as deterministic tie-breaks — until the entry count is back
+// within the flow limit, returning the eviction count. This is the
+// staleness sweep a dynamic flow-limit cut triggers on the next
+// revalidator dump; without it a cut below the resident count would only
+// reject new inserts while the stale population squats forever.
+func (m *Megaflow) TrimToLimit() int {
+	if m.limit <= 0 || m.nEntries <= m.limit {
+		return 0
+	}
+	type resident struct {
+		st  *mfSubtable
+		key flow.Key
+		ent *Entry
+	}
+	all := make([]resident, 0, m.nEntries)
+	for _, st := range m.subtables {
+		for k, ent := range st.entries {
+			all = append(all, resident{st, k, ent})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].ent, all[j].ent
+		if a.LastHit != b.LastHit {
+			return a.LastHit < b.LastHit
+		}
+		if a.Added != b.Added {
+			return a.Added < b.Added
+		}
+		return matchLess(a.Match, b.Match)
+	})
+	n := m.nEntries - m.limit
+	for _, r := range all[:n] {
+		r.ent.dead = true
+		delete(r.st.entries, r.key)
+		m.nEntries--
+	}
+	for i := 0; i < len(m.subtables); {
+		if len(m.subtables[i].entries) == 0 {
+			m.dropSubtable(m.subtables[i])
+			continue
+		}
+		i++
+	}
+	return n
+}
+
+// matchLess orders matches lexicographically (mask, then key) so staleness
+// ties trim deterministically regardless of map iteration order.
+func matchLess(a, b flow.Match) bool {
+	for i := range a.Mask {
+		if a.Mask[i] != b.Mask[i] {
+			return a.Mask[i] < b.Mask[i]
+		}
+	}
+	for i := range a.Key {
+		if a.Key[i] != b.Key[i] {
+			return a.Key[i] < b.Key[i]
+		}
+	}
+	return false
 }
 
 // EvictIdle removes entries whose LastHit is older than deadline,

@@ -19,6 +19,7 @@ import (
 	"policyinject/internal/dataplane"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
+	"policyinject/internal/revalidator"
 )
 
 // Node is a hypervisor server running one virtual switch.
@@ -74,6 +75,8 @@ type Cluster struct {
 	// node gets its own tier instances, assembled fresh from the options).
 	SwitchOpts []dataplane.Option
 
+	rev *revalidator.Revalidator // cluster-wide maintenance actor, if attached
+
 	nextIP uint32 // pod IP allocator within 172.16.0.0/12
 }
 
@@ -87,15 +90,39 @@ func NewCluster() *Cluster {
 	}
 }
 
-// AddNode provisions a hypervisor node with a fresh switch.
+// AddNode provisions a hypervisor node with a fresh switch. With a
+// revalidator attached the new switch immediately comes under cluster-wide
+// maintenance.
 func (c *Cluster) AddNode(name string) (*Node, error) {
 	if _, ok := c.nodes[name]; ok {
 		return nil, fmt.Errorf("cms: node %q exists", name)
 	}
 	n := &Node{Name: name, Switch: dataplane.New(name, c.SwitchOpts...)}
 	c.nodes[name] = n
+	if c.rev != nil {
+		c.rev.Attach(n.Switch)
+	}
 	return n, nil
 }
+
+// AttachRevalidator puts every node switch — current and future — under
+// rev's maintenance: the cluster-wide view of the OVS revalidator threads
+// running on each hypervisor. The timeline owning the cluster drives rev
+// with Tick alongside its traffic.
+func (c *Cluster) AttachRevalidator(rev *revalidator.Revalidator) {
+	c.rev = rev
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic shard assignment
+	for _, name := range names {
+		rev.Attach(c.nodes[name].Switch)
+	}
+}
+
+// Revalidator returns the attached maintenance actor, or nil.
+func (c *Cluster) Revalidator() *revalidator.Revalidator { return c.rev }
 
 // Node returns a node by name, or nil.
 func (c *Cluster) Node(name string) *Node { return c.nodes[name] }

@@ -9,6 +9,7 @@ import (
 	"policyinject/internal/attack"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
+	"policyinject/internal/revalidator"
 )
 
 func cluster(t *testing.T) *Cluster {
@@ -225,5 +226,31 @@ func TestClusterString(t *testing.T) {
 	out := c.String()
 	if !strings.Contains(out, "pod web") || !strings.Contains(out, "2 nodes") {
 		t.Errorf("String() = %q", out)
+	}
+}
+
+// TestAttachRevalidator: attaching covers the nodes that exist and the
+// nodes added afterwards, so the whole cluster stays under one maintenance
+// actor.
+func TestAttachRevalidator(t *testing.T) {
+	c := cluster(t) // server-1, server-2
+	rev := revalidator.New(revalidator.Config{})
+	c.AttachRevalidator(rev)
+	if rev.Targets() != 2 {
+		t.Fatalf("attached %d targets, want the 2 existing nodes", rev.Targets())
+	}
+	if _, err := c.AddNode("server-3"); err != nil {
+		t.Fatal(err)
+	}
+	if rev.Targets() != 3 {
+		t.Fatalf("attached %d targets after AddNode, want 3", rev.Targets())
+	}
+	if c.Revalidator() != rev {
+		t.Fatal("Revalidator accessor lost the actor")
+	}
+	// A round across the cluster runs without traffic (empty dump).
+	rev.Tick(0)
+	if got := rev.Stats().Rounds; got != 1 {
+		t.Fatalf("rounds = %d", got)
 	}
 }

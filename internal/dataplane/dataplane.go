@@ -736,9 +736,15 @@ func (s *Switch) account(v cache.Verdict) {
 	}
 }
 
-// RunRevalidator performs the periodic maintenance OVS's revalidator
-// threads do: evict cache entries idle past the configured timeout (tier
-// by tier) and expire stale conntrack entries. Returns the eviction count.
+// RunRevalidator performs one inline maintenance sweep: evict cache
+// entries idle past the configured timeout (tier by tier) and expire stale
+// conntrack entries. Returns the eviction count.
+//
+// This is the legacy synchronous sweep, kept as the conformance baseline
+// for the clock-driven actor that now owns cache maintenance (package
+// revalidator: sharded dump workers, dump-duration measurement, adaptive
+// flow-limit backoff). New timelines should attach the switch to a
+// revalidator.Revalidator instead of calling this.
 func (s *Switch) RunRevalidator(now uint64) int {
 	if s.ct != nil {
 		s.ct.Expire(now)

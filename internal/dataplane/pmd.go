@@ -202,7 +202,9 @@ func (p *PMDPool) MasksPerPMD() []int {
 	return out
 }
 
-// RunRevalidator sweeps every PMD.
+// RunRevalidator sweeps every PMD inline — the legacy maintenance hook;
+// the revalidator actor attaches each PMD as its own dump shard instead
+// (revalidator.Revalidator.AttachPool).
 func (p *PMDPool) RunRevalidator(now uint64) int {
 	n := 0
 	for _, sw := range p.pmds {

@@ -88,6 +88,28 @@ type RunCoalescer interface {
 	AccountRun(ent *cache.Entry, n int, cost int, now uint64) bool
 }
 
+// LimitedTier is the capability of a tier whose entry limit can be
+// adjusted at run time — the flow-limit lever the revalidator pulls when a
+// dump overruns its interval. TrimToLimit evicts the stalest entries down
+// to the current limit (a cut below the resident count must sweep the
+// squatters out on the next dump, not just reject new inserts).
+type LimitedTier interface {
+	Tier
+	FlowLimit() int
+	SetFlowLimit(n int)
+	TrimToLimit() int
+}
+
+// RevalidatableTier is the capability of a tier whose entries can be
+// re-checked against the slow path: the revalidator's consistency pass.
+// check returns the fresh verdict and whether the entry may stay; entries
+// whose verdict changed or that must go are flushed, and the flush count
+// returned.
+type RevalidatableTier interface {
+	Tier
+	Revalidate(check func(*cache.Entry) (cache.Verdict, bool)) int
+}
+
 // MegaflowInstaller is the capability of an authoritative tier: accepting
 // the wildcard megaflow the slow path synthesises on an upcall. The switch
 // installs upcall results into its last MegaflowInstaller tier and
@@ -249,6 +271,17 @@ func (t *MegaflowTier) Install(flow.Key, *cache.Entry) {}
 
 func (t *MegaflowTier) Flush()                        { t.mfc.Flush() }
 func (t *MegaflowTier) EvictIdle(deadline uint64) int { return t.mfc.EvictIdle(deadline) }
+
+// FlowLimit, SetFlowLimit and TrimToLimit expose the megaflow entry limit
+// as the revalidator's dynamic lever (LimitedTier).
+func (t *MegaflowTier) FlowLimit() int     { return t.mfc.FlowLimit() }
+func (t *MegaflowTier) SetFlowLimit(n int) { t.mfc.SetFlowLimit(n) }
+func (t *MegaflowTier) TrimToLimit() int   { return t.mfc.TrimToLimit() }
+
+// Revalidate runs the megaflow consistency pass (RevalidatableTier).
+func (t *MegaflowTier) Revalidate(check func(*cache.Entry) (cache.Verdict, bool)) int {
+	return t.mfc.Revalidate(check)
+}
 
 func (t *MegaflowTier) InsertMegaflow(match flow.Match, v cache.Verdict, now uint64) (*cache.Entry, error) {
 	return t.mfc.Insert(match, v, now)

@@ -50,6 +50,44 @@ func (s *Series) Window(from, to float64) []float64 {
 	return out
 }
 
+// Group is an ordered bundle of named series sharing one clock — the shape
+// a timeline experiment records: Observe(t, name, v) appends a sample to
+// the named series, creating it on first use, so instrumented subsystems
+// (the revalidator, the cache tiers) can emit whatever gauges they have
+// without the experiment pre-declaring each one.
+type Group struct {
+	order  []*Series
+	byName map[string]*Series
+}
+
+// Observe appends (t, v) to the named series, creating it on first use.
+func (g *Group) Observe(t float64, name string, v float64) {
+	g.series(name).Add(t, v)
+}
+
+func (g *Group) series(name string) *Series {
+	if s, ok := g.byName[name]; ok {
+		return s
+	}
+	if g.byName == nil {
+		g.byName = make(map[string]*Series)
+	}
+	s := &Series{Name: name}
+	g.byName[name] = s
+	g.order = append(g.order, s)
+	return s
+}
+
+// Series returns the named series, or nil when nothing was observed under
+// that name.
+func (g *Group) Series(name string) *Series { return g.byName[name] }
+
+// All returns the series in first-observation order.
+func (g *Group) All() []*Series { return g.order }
+
+// CSV renders the whole group as comma-separated columns.
+func (g *Group) CSV() string { return CSV(g.order...) }
+
 // Summary describes a sample set.
 type Summary struct {
 	N            int

@@ -121,6 +121,27 @@ func TestTableIntegerFloats(t *testing.T) {
 	}
 }
 
+func TestGroup(t *testing.T) {
+	var g Group
+	g.Observe(0, "flow_limit", 200000)
+	g.Observe(0, "flows", 8)
+	g.Observe(1, "flow_limit", 150000)
+	if s := g.Series("flow_limit"); s == nil || s.Len() != 2 || s.V[1] != 150000 {
+		t.Fatalf("flow_limit series: %+v", g.Series("flow_limit"))
+	}
+	if g.Series("nope") != nil {
+		t.Error("unknown series should be nil")
+	}
+	all := g.All()
+	if len(all) != 2 || all[0].Name != "flow_limit" || all[1].Name != "flows" {
+		t.Fatalf("All() order: %v", all)
+	}
+	csv := g.CSV()
+	if !strings.Contains(csv, "t,flow_limit,flows") {
+		t.Errorf("group CSV header:\n%s", csv)
+	}
+}
+
 func TestGnuplot(t *testing.T) {
 	a := &Series{Name: "victim"}
 	a.Add(0, 0.9)

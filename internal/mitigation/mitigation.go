@@ -30,6 +30,7 @@ import (
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
 	"policyinject/internal/metrics"
+	"policyinject/internal/revalidator"
 	"policyinject/internal/sim"
 	"policyinject/internal/traffic"
 )
@@ -48,6 +49,11 @@ type Target interface {
 type Variant struct {
 	Name  string
 	Build func() Target
+	// Reval, when non-nil, attaches a revalidator to the built target and
+	// makes Evaluate run maintenance rounds (covert stream cycling, dump,
+	// flow-limit adaptation) between attack residence and the post-attack
+	// measurement — the control-plane dimension of the comparison.
+	Reval *revalidator.Config
 }
 
 // Standard variants.
@@ -138,6 +144,37 @@ func CacheLess() Variant {
 	}}
 }
 
+// slowDump is the revalidator shape the flow-limit pair shares: one worker
+// dumping 64 flows per unit, so the 512-flow attack overruns every round,
+// and a floor below the attack's flow count so the staleness trim engages.
+func slowDump(fixed bool) *revalidator.Config {
+	return &revalidator.Config{
+		Interval: 1, Workers: 1, DumpRate: 64,
+		MinFlowLimit: 256, FixedLimit: fixed,
+	}
+}
+
+// FixedFlowLimit is the revalidator with the backoff heuristic disabled:
+// dumps overrun, the limit stays at the ceiling, and every attacker flow
+// stays resident through the measurement.
+func FixedFlowLimit() Variant {
+	return Variant{Name: "fixed-limit", Build: func() Target {
+		return dataplane.New("fixed-limit", dataplane.WithoutEMC())
+	}, Reval: slowDump(true)}
+}
+
+// AdaptiveFlowLimit is stock OVS backoff: the overrunning dump slashes the
+// limit to the floor and the next dumps trim the stalest flows — the
+// attacker's trickle-refreshed entries — while the victim's warm megaflows
+// survive. The comparison with FixedFlowLimit shows what the heuristic
+// buys (a pruned mask scan for warm traffic) and what it costs (the
+// trimmed covert flows reinstall through the upcall path every cycle).
+func AdaptiveFlowLimit() Variant {
+	return Variant{Name: "adaptive-limit", Build: func() Target {
+		return dataplane.New("adaptive-limit", dataplane.WithoutEMC())
+	}, Reval: slowDump(false)}
+}
+
 // Outcome is the measured effect of the attack on one variant.
 type Outcome struct {
 	Name       string
@@ -145,11 +182,16 @@ type Outcome struct {
 	CostBefore time.Duration // victim per-packet cost pre-attack
 	CostAfter  time.Duration // victim per-packet cost with the attack resident
 	Slowdown   float64       // CostAfter / CostBefore
+	FlowLimit  int           // revalidator flow limit after maintenance (0: no revalidator)
 }
 
 func (o Outcome) String() string {
-	return fmt.Sprintf("%-14s masks=%-5d before=%-8v after=%-8v slowdown=%.1fx",
+	s := fmt.Sprintf("%-14s masks=%-5d before=%-8v after=%-8v slowdown=%.1fx",
 		o.Name, o.Masks, o.CostBefore, o.CostAfter, o.Slowdown)
+	if o.FlowLimit > 0 {
+		s += fmt.Sprintf(" flow-limit=%d", o.FlowLimit)
+	}
+	return s
 }
 
 // Evaluate runs the attack against each variant and reports the outcomes.
@@ -213,14 +255,39 @@ func Evaluate(atk *attack.Attack, variants []Variant, samples int) ([]Outcome, e
 			}
 		}
 
-		warmup(tgt, victim, 3)
-		after := sim.MeasureCost(tgt, victim, 3, samples)
+		// Maintenance window: variants with a revalidator live through
+		// eight dump rounds with the covert stream (and a victim trickle)
+		// still cycling, as the real timeline would, before the post-attack
+		// measurement opens — long enough for the backoff to hit its floor
+		// and the staleness trim to reach steady state.
+		now, flowLimit := uint64(3), 0
+		if v.Reval != nil {
+			if rt, ok := tgt.(revalidator.Target); ok {
+				rev := revalidator.New(*v.Reval)
+				rev.Attach(rt)
+				for round := 0; round < 8; round++ {
+					for i := 0; i < 256; i++ {
+						tgt.ProcessKey(now, victim.Next())
+					}
+					for _, k := range keys {
+						tgt.ProcessKey(now, k)
+					}
+					rev.Tick(now)
+					now++
+				}
+				flowLimit = rev.FlowLimit()
+			}
+		}
+
+		warmup(tgt, victim, now)
+		after := sim.MeasureCost(tgt, victim, now, samples)
 
 		o := Outcome{
 			Name:       v.Name,
 			CostBefore: before,
 			CostAfter:  after,
 			Slowdown:   float64(after) / float64(before),
+			FlowLimit:  flowLimit,
 		}
 		if dp, ok := tgt.(*dataplane.Switch); ok {
 			o.Masks = dp.Megaflow().NumMasks()
@@ -281,12 +348,16 @@ func (c *churnVictim) Next() flow.Key {
 
 // Table renders outcomes for cmd/figures.
 func Table(outcomes []Outcome) *metrics.Table {
-	t := &metrics.Table{Header: []string{"variant", "masks", "ns_before", "ns_after", "slowdown"}}
+	t := &metrics.Table{Header: []string{"variant", "masks", "ns_before", "ns_after", "slowdown", "flow_limit"}}
 	for _, o := range outcomes {
+		lim := "-"
+		if o.FlowLimit > 0 {
+			lim = fmt.Sprintf("%d", o.FlowLimit)
+		}
 		t.AddRow(o.Name, o.Masks,
 			float64(o.CostBefore.Nanoseconds()),
 			float64(o.CostAfter.Nanoseconds()),
-			o.Slowdown)
+			o.Slowdown, lim)
 	}
 	return t
 }

@@ -141,12 +141,13 @@ func extractL4(b []byte, proto byte, k flow.Key) (flow.Key, error) {
 // dataplane can account it and keep classifying the rest. The return value
 // is the number of malformed frames (non-nil errs entries).
 //
-// The burst loop takes a fast path for the dominant wire shape — untagged
-// IPv4 with no options, no fragmentation, TCP or UDP — amortising the
-// parser's per-layer bounds checks into one length comparison per frame;
-// anything else falls back to the full scalar decoder. The result is
-// bit-identical to calling Extract frame by frame (keys and errors both),
-// which the batch-equivalence property test pins.
+// The burst loop takes a fast path for the dominant wire shapes — IPv4
+// with no options, no fragmentation, TCP or UDP, untagged or behind a
+// single 802.1Q tag — amortising the parser's per-layer bounds checks into
+// one length comparison per frame; anything else falls back to the full
+// scalar decoder. The result is bit-identical to calling Extract frame by
+// frame (keys and errors both), which the batch-equivalence property test
+// pins.
 //
 // keys, errs and inPorts must all have len(frames); ExtractBatch panics
 // otherwise rather than silently truncating the burst.
@@ -169,10 +170,13 @@ func ExtractBatch(frames [][]byte, inPorts []uint32, keys []flow.Key, errs []err
 	return bad
 }
 
-// Minimum frame lengths the fast path accepts for the two common L4s.
+// Minimum frame lengths the fast path accepts for the two common L4s,
+// untagged and single-VLAN-tagged.
 const (
-	fastUDPLen = EthHeaderLen + IPv4HeaderLen + UDPHeaderLen
-	fastTCPLen = EthHeaderLen + IPv4HeaderLen + TCPHeaderLen
+	fastUDPLen     = EthHeaderLen + IPv4HeaderLen + UDPHeaderLen
+	fastTCPLen     = EthHeaderLen + IPv4HeaderLen + TCPHeaderLen
+	fastVLANUDPLen = fastUDPLen + VLANTagLen
+	fastVLANTCPLen = fastTCPLen + VLANTagLen
 )
 
 // fastField is a field's precomputed landing spot in a Key: word index and
@@ -194,6 +198,7 @@ var (
 	ffEthType  = fastOf(flow.FieldEthType)
 	ffEthSrc   = fastOf(flow.FieldEthSrc)
 	ffEthDst   = fastOf(flow.FieldEthDst)
+	ffVLANTCI  = fastOf(flow.FieldVLANTCI)
 	ffIPTOS    = fastOf(flow.FieldIPTOS)
 	ffIPProto  = fastOf(flow.FieldIPProto)
 	ffIPSrc    = fastOf(flow.FieldIPSrc)
@@ -203,21 +208,31 @@ var (
 	ffTCPFlags = fastOf(flow.FieldTCPFlags)
 )
 
-// extractFast decodes the common wire shape — untagged IPv4, IHL 5, not a
-// fragment, TCP or UDP — with a single bounds check per layer and the key
-// words composed by plain ORs into the zero Key (every field value is
-// already width-exact, so no per-field read-modify-write). It reports
-// false for anything it does not handle, sending the frame to the full
-// decoder. On success the key is exactly what Extract would produce.
+// extractFast decodes the common wire shapes — untagged or single-802.1Q
+// IPv4, IHL 5, not a fragment, TCP or UDP — with a single bounds check per
+// layer and the key words composed by plain ORs into the zero Key (every
+// field value is already width-exact, so no per-field read-modify-write).
+// It reports false for anything it does not handle, sending the frame to
+// the full decoder. On success the key is exactly what Extract would
+// produce.
 func extractFast(frame []byte, inPort uint32) (flow.Key, bool) {
 	var k flow.Key
 	if len(frame) < fastUDPLen {
 		return k, false
 	}
-	if be16(frame[12:14]) != EtherTypeIPv4 {
+	l3, minTCP := EthHeaderLen, fastTCPLen
+	switch be16(frame[12:14]) {
+	case EtherTypeIPv4:
+	case EtherTypeVLAN:
+		if len(frame) < fastVLANUDPLen || be16(frame[16:18]) != EtherTypeIPv4 {
+			return k, false
+		}
+		k[ffVLANTCI.w] |= uint64(be16(frame[14:16])) << ffVLANTCI.s
+		l3, minTCP = EthHeaderLen+VLANTagLen, fastVLANTCPLen
+	default:
 		return k, false
 	}
-	ip := frame[EthHeaderLen:fastUDPLen]
+	ip := frame[l3 : l3+IPv4HeaderLen+UDPHeaderLen]
 	if ip[0] != 0x45 { // version 4, no options
 		return k, false
 	}
@@ -228,7 +243,7 @@ func extractFast(frame []byte, inPort uint32) (flow.Key, bool) {
 	switch proto {
 	case ProtoUDP:
 	case ProtoTCP:
-		if len(frame) < fastTCPLen {
+		if len(frame) < minTCP {
 			return k, false
 		}
 	default:
@@ -245,7 +260,7 @@ func extractFast(frame []byte, inPort uint32) (flow.Key, bool) {
 	k[ffTPSrc.w] |= uint64(be16(ip[20:22])) << ffTPSrc.s
 	k[ffTPDst.w] |= uint64(be16(ip[22:24])) << ffTPDst.s
 	if proto == ProtoTCP {
-		k[ffTCPFlags.w] |= uint64(frame[EthHeaderLen+IPv4HeaderLen+13]) << ffTCPFlags.s
+		k[ffTCPFlags.w] |= uint64(frame[l3+IPv4HeaderLen+13]) << ffTCPFlags.s
 	}
 	return k, true
 }

@@ -55,9 +55,27 @@ func corpusFrames(t testing.TB) [][]byte {
 	df := append([]byte(nil), weird...)
 	df[EthHeaderLen+6] = 0x40
 	frames = append(frames, df)
-	// Every truncation prefix of a TCP frame.
+	// Single-VLAN IPv4 shapes: the tagged fast path (UDP and TCP, zero and
+	// non-zero TCI), plus its fallbacks — tagged fragment, tagged IPv4
+	// options, and a QinQ outer tag (inner EtherType is VLAN again).
+	vlanUDP := MustBuild(Spec{Src: v4a, Dst: v4b, Proto: ProtoUDP, SrcPort: 67, DstPort: 68, VLAN: 100})
+	vlanTCP := MustBuild(Spec{Src: v4a, Dst: v4b, Proto: ProtoTCP, SrcPort: 80, DstPort: 8080, VLAN: 0x0fff, TCPFlags: TCPAck, TOS: 4})
+	frames = append(frames, vlanUDP, vlanTCP)
+	vlanFrag := append([]byte(nil), vlanTCP...)
+	vlanFrag[EthHeaderLen+VLANTagLen+6] = 0x20
+	frames = append(frames, vlanFrag)
+	vlanOpts := append([]byte(nil), vlanTCP...)
+	vlanOpts[EthHeaderLen+VLANTagLen] = 0x46
+	frames = append(frames, vlanOpts)
+	qinq := append([]byte(nil), vlanTCP...)
+	qinq[16], qinq[17] = 0x81, 0x00
+	frames = append(frames, qinq)
+	// Every truncation prefix of a TCP frame, untagged and tagged.
 	for n := 0; n < len(weird); n += 3 {
 		frames = append(frames, weird[:n])
+	}
+	for n := 0; n < len(vlanTCP); n += 3 {
+		frames = append(frames, vlanTCP[:n])
 	}
 	// Round-trip the whole corpus through the pcap writer/reader: the
 	// capture path must deliver bit-identical frames into the batch.

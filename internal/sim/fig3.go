@@ -12,6 +12,7 @@ import (
 	"policyinject/internal/dataplane"
 	"policyinject/internal/flow"
 	"policyinject/internal/metrics"
+	"policyinject/internal/revalidator"
 	"policyinject/internal/traffic"
 )
 
@@ -118,6 +119,11 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	if cfg.SMC {
 		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithSMC(cache.SMCConfig{}))
 	}
+	// Cache maintenance is owned by the clock-driven revalidator actor; the
+	// default config (one round per tick, 10-tick max-idle, generous dump
+	// rate) reproduces the legacy inline sweep exactly on this timeline.
+	rev := revalidator.New(revalidator.Config{})
+	cluster.AttachRevalidator(rev)
 	if _, err := cluster.AddNode("server-1"); err != nil {
 		return nil, err
 	}
@@ -222,8 +228,8 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 		res.Throughput.Add(float64(t), Gbps(pps, cfg.FrameLen))
 		res.Masks.Add(float64(t), float64(sw.Megaflow().NumMasks()))
 		res.Megaflows.Add(float64(t), float64(sw.Megaflow().Len()))
-		// 4. Revalidator sweep.
-		sw.RunRevalidator(now)
+		// 4. Revalidator round (the actor decides whether one is due).
+		rev.Tick(now)
 	}
 
 	res.MeanBefore = metrics.Summarize(res.Throughput.Window(float64(cfg.AttackStart)/2, float64(cfg.AttackStart))).Mean

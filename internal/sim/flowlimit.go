@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"policyinject/internal/acl"
+	"policyinject/internal/attack"
+	"policyinject/internal/cms"
+	"policyinject/internal/dataplane"
+	"policyinject/internal/metrics"
+	"policyinject/internal/revalidator"
+	"policyinject/internal/traffic"
+)
+
+// FlowLimitConfig parameterises the flow-limit collapse timeline: the
+// scenario family the revalidator subsystem unlocks. The paper's attack
+// economics continue past the cache fill — OVS revalidators dump the
+// flows, the attacker-bloated dump overruns its interval, and the backoff
+// heuristic slashes the datapath flow limit, trimming resident flows and
+// locking the rest out of the cache. This timeline plots the limit (and
+// the trim) tick by tick, with the heuristic on or off.
+type FlowLimitConfig struct {
+	Duration    int // ticks, default 120
+	AttackStart int // tick the covert stream starts, default 20
+	// Attack is the configured attack; default ThreeField (8192 masks).
+	Attack *attack.Attack
+	// FixedLimit disables the OVS backoff heuristic, pinning the limit at
+	// the ceiling — the A/B control run. Default false: stock OVS adapts.
+	FixedLimit bool
+	// Interval is the revalidator round period in ticks (default 5).
+	Interval uint64
+	// Workers is the revalidator thread count (default 2).
+	Workers int
+	// DumpRate is flows dumped per worker per tick (default 200 — a slow
+	// dump path, the regime where the heuristic engages; the real OVS
+	// equivalent is a dump slowed by per-flow revalidation against the
+	// attacker's enormous rule set).
+	DumpRate float64
+	// FlowLimit / MinFlowLimit bound the heuristic (defaults: the OVS
+	// 200000 ceiling and 2000 floor).
+	FlowLimit    int
+	MinFlowLimit int
+	// CostSamples is the per-tick victim measurement batch; default 32.
+	CostSamples int
+	// VictimGbps / FrameLen shape the victim load as in Fig3Config.
+	VictimGbps float64
+	FrameLen   int
+}
+
+func (c *FlowLimitConfig) setDefaults() {
+	if c.Duration == 0 {
+		c.Duration = 120
+	}
+	if c.AttackStart == 0 {
+		c.AttackStart = 20
+	}
+	if c.Attack == nil {
+		c.Attack = attack.ThreeField()
+	}
+	if c.Interval == 0 {
+		c.Interval = 5
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.DumpRate == 0 {
+		c.DumpRate = 200
+	}
+	if c.CostSamples == 0 {
+		c.CostSamples = 32
+	}
+	if c.VictimGbps == 0 {
+		c.VictimGbps = 0.95
+	}
+	if c.FrameLen == 0 {
+		c.FrameLen = 1514
+	}
+}
+
+// FlowLimitResult carries the recorded timeline and its summary.
+type FlowLimitResult struct {
+	// Timeline holds one sample per tick of: flow_limit, dump_units,
+	// flows_dumped, evicted_idle, evicted_limit (the revalidator gauges),
+	// plus mf_entries, mf_masks and victim_gbps.
+	Timeline *metrics.Group
+
+	InitialLimit int
+	FinalLimit   int
+	Overruns     uint64 // dump rounds that overran twice their interval
+	LimitEvicted uint64 // total entries trimmed by flow-limit cuts
+}
+
+// Collapsed reports whether the flow limit backed off at all.
+func (r *FlowLimitResult) Collapsed() bool { return r.FinalLimit < r.InitialLimit }
+
+func (r *FlowLimitResult) String() string {
+	return fmt.Sprintf("flow limit %d -> %d (%d overrun dumps, %d flows trimmed by limit cuts)",
+		r.InitialLimit, r.FinalLimit, r.Overruns, r.LimitEvicted)
+}
+
+// RunFlowLimit runs the collapse timeline: the fig-3 cluster layout, the
+// covert stream from AttackStart on, and a revalidator whose dump rate is
+// slow enough that the attacker-bloated flow table overruns the dump
+// interval. With the heuristic on (the default) the flow limit collapses
+// toward the floor, the next dumps trim the now-over-limit residents by
+// staleness, and the collapsed limit locks everything beyond the surviving
+// flow set out of the cache (installs rejected, per-packet upcalls); with
+// FixedLimit it holds flat.
+func RunFlowLimit(cfg FlowLimitConfig) (*FlowLimitResult, error) {
+	cfg.setDefaults()
+
+	cluster := cms.NewCluster()
+	// The kernel-datapath model of fig 3: no EMC, so the victim's cost
+	// tracks the mask population the limit dynamics reshape.
+	cluster.SwitchOpts = []dataplane.Option{dataplane.WithoutEMC()}
+	rev := revalidator.New(revalidator.Config{
+		Interval:     cfg.Interval,
+		Workers:      cfg.Workers,
+		DumpRate:     cfg.DumpRate,
+		FlowLimit:    cfg.FlowLimit,
+		MinFlowLimit: cfg.MinFlowLimit,
+		FixedLimit:   cfg.FixedLimit,
+	})
+	cluster.AttachRevalidator(rev)
+	if _, err := cluster.AddNode("server-1"); err != nil {
+		return nil, err
+	}
+	victimSrv, err := cluster.DeployPod("victim-corp", "iperf-server", "server-1")
+	if err != nil {
+		return nil, err
+	}
+	attackerPod, err := cluster.DeployPod("mallory", "probe", "server-1")
+	if err != nil {
+		return nil, err
+	}
+	sw := victimSrv.Node.Switch
+
+	victimClient := netip.MustParseAddr("10.10.0.5")
+	if err := cluster.ApplyPolicy("victim-corp", "iperf-server", &cms.Policy{
+		Name: "iperf-ingress",
+		Ingress: []acl.Entry{{
+			Src:     netip.PrefixFrom(victimClient, 24).Masked(),
+			Proto:   6,
+			DstPort: acl.Port(5201),
+		}},
+	}); err != nil {
+		return nil, err
+	}
+	victim := traffic.NewVictim(traffic.VictimConfig{
+		Src:      victimClient,
+		Dst:      victimSrv.IP,
+		Flows:    8,
+		InPort:   victimSrv.Port,
+		FrameLen: cfg.FrameLen,
+	})
+
+	atk := cfg.Attack
+	atk.DstIP = attackerPod.IP
+	covertKeys, err := atk.Keys()
+	if err != nil {
+		return nil, err
+	}
+	covertFrames, err := atk.Frames()
+	if err != nil {
+		return nil, err
+	}
+	replay := traffic.NewReplayer(covertKeys).WithFrames(covertFrames, attackerPod.Port)
+	// Cycle the whole covert sequence every 2.5 ticks, as in fig 3: fast
+	// enough that trimmed flows reinstall before the next dump.
+	pacer := &traffic.Pacer{PPS: float64(len(covertKeys)) / 2.5}
+	offeredPPS := PPSFor(cfg.VictimGbps, cfg.FrameLen)
+
+	res := &FlowLimitResult{Timeline: &metrics.Group{}, InitialLimit: rev.FlowLimit()}
+
+	injected := false
+	var covertBurst dataplane.FrameBatch
+	var covertOut []dataplane.Decision
+	for t := 0; t < cfg.Duration; t++ {
+		now := uint64(t)
+		if !injected && t >= cfg.AttackStart {
+			theACL, err := atk.BuildACL()
+			if err != nil {
+				return nil, err
+			}
+			if err := cluster.ApplyPolicy("mallory", "probe", &cms.Policy{
+				Name:                "innocuous-whitelist",
+				Ingress:             theACL.Entries,
+				AllowSrcPortFilters: true,
+			}); err != nil {
+				return nil, err
+			}
+			injected = true
+		}
+		if injected {
+			covertBurst.Reset()
+			for i := pacer.Take(1); i > 0; i-- {
+				covertBurst.Append(replay.NextFrame())
+			}
+			covertOut = sw.ProcessFrames(now, &covertBurst, covertOut)
+		}
+		cost := MeasureCost(sw, victim, now, cfg.CostSamples)
+		rev.Tick(now)
+
+		ts := float64(t)
+		rev.Observe(res.Timeline, ts)
+		res.Timeline.Observe(ts, "mf_entries", float64(sw.Megaflow().Len()))
+		res.Timeline.Observe(ts, "mf_masks", float64(sw.Megaflow().NumMasks()))
+		res.Timeline.Observe(ts, "victim_gbps", Gbps(Throughput(cost, offeredPPS), cfg.FrameLen))
+	}
+
+	st := rev.Stats()
+	res.FinalLimit = st.FlowLimit
+	res.Overruns = st.Overruns
+	res.LimitEvicted = st.TotalLimitEvicted
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"policyinject/internal/attack"
+)
+
+// quickFlowLimitConfig is the fast regime: the 512-mask attack against a
+// dump rate slow enough that the post-attack dump overruns hard, and a
+// floor below the attack's flow count so the staleness trim engages.
+func quickFlowLimitConfig() FlowLimitConfig {
+	return FlowLimitConfig{
+		Duration:     48,
+		AttackStart:  8,
+		Attack:       attack.TwoField(),
+		Interval:     4,
+		Workers:      2,
+		DumpRate:     16,
+		MinFlowLimit: 256,
+		CostSamples:  16,
+		FrameLen:     128,
+	}
+}
+
+// TestFlowLimitCollapsesUnderAttack is the acceptance assertion for the
+// revalidator subsystem: under the covert stream the adaptive heuristic
+// slashes the flow limit to its floor, and the limit cut triggers the
+// staleness trim (eviction of resident flows, not just insert rejection).
+func TestFlowLimitCollapsesUnderAttack(t *testing.T) {
+	res, err := RunFlowLimit(quickFlowLimitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Collapsed() {
+		t.Fatalf("adaptive limit did not collapse: %v", res)
+	}
+	if res.FinalLimit != 256 {
+		t.Errorf("limit should back off to the 256 floor, got %d", res.FinalLimit)
+	}
+	if res.Overruns == 0 {
+		t.Error("no dump overruns recorded under the attack")
+	}
+	if res.LimitEvicted == 0 {
+		t.Error("limit cut below the resident count trimmed nothing: the staleness sweep is not engaging")
+	}
+	// The thrash loop: trimmed covert flows reinstall, so the cache keeps
+	// churning instead of settling once.
+	lim := res.Timeline.Series("flow_limit")
+	pre := lim.At(float64(4)) // before the attack lands
+	if pre != 200000 {
+		t.Errorf("pre-attack limit = %g, want the 200000 ceiling", pre)
+	}
+}
+
+// TestFlowLimitHoldsFlatWhenFixed is the control run: with the heuristic
+// disabled the limit never moves, overruns notwithstanding.
+func TestFlowLimitHoldsFlatWhenFixed(t *testing.T) {
+	cfg := quickFlowLimitConfig()
+	cfg.FixedLimit = true
+	res, err := RunFlowLimit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collapsed() {
+		t.Fatalf("fixed limit moved: %v", res)
+	}
+	for i, v := range res.Timeline.Series("flow_limit").V {
+		if v != float64(res.InitialLimit) {
+			t.Fatalf("fixed limit not flat at sample %d: %g", i, v)
+		}
+	}
+	if res.Overruns == 0 {
+		t.Error("the fixed run should still record overruns; only the response is disabled")
+	}
+	if res.LimitEvicted != 0 {
+		t.Errorf("fixed limit trimmed %d flows; nothing should be over a 200000 limit", res.LimitEvicted)
+	}
+}
