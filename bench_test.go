@@ -699,6 +699,136 @@ func BenchmarkFramePath(b *testing.B) {
 	}
 }
 
+// BenchmarkSubtablePruning — the staged-lookup payoff, per workload, with
+// pruning off ("flat") and on ("pruned"). All variants run against the
+// paper's full-blown operating point: the 8192-mask three-field attack
+// resident, kernel datapath model (no EMC), victim megaflows installed
+// behind the covert ladder.
+//
+//   - victim/256: a burst of distinct warm victim flows. Flat, every key
+//     walks the whole exploded ladder to its megaflow; pruned, the
+//     stage-0 signature (the attacker's pinned in_port) rejects every
+//     covert subtable for the entire burst — this workload must show the
+//     multi-x cut and must not regress pre-attack traffic.
+//   - elephant/8x32: few flows in long same-key runs; run coalescing
+//     already collapses most lookups, pruning trims the rest.
+//   - attack8192/32: the covert burst itself — worst case for the
+//     signature filter, since every key shares the attacker's in_port.
+//     In the timed steady state (the same burst repeated) the EWMA
+//     ranking floats the burst's own subtables to the front; on a
+//     cycling covert stream the ports filter and the L3 stage bail are
+//     what reject almost every subtable before the full probe (the
+//     regime the warmup's first bursts and mitigation.StagedPruning()
+//     exercise).
+//
+// The "visits/burst" metric is the subtables physically probed per burst
+// (scan positions for flat, stage hashes + full probes for pruned); the
+// acceptance bar is >= 4x fewer under pruning on the attack mix, and the
+// attack curve in `figures -fig 3` bending flat. Coalesced same-flow
+// runs bill MasksScanned logically without probing (AccountRun), so the
+// flat leg subtracts RunBilledScans to stay physical and comparable to
+// the pruned leg's SubtableVisits.
+func BenchmarkSubtablePruning(b *testing.B) {
+	type workload struct {
+		name  string
+		burst func(b *testing.B, sw *dataplane.Switch) []flow.Key
+	}
+	covertBurst := func(n int) func(*testing.B, *dataplane.Switch) []flow.Key {
+		return func(b *testing.B, sw *dataplane.Switch) []flow.Key {
+			b.Helper()
+			atk := attack.ThreeField()
+			covert, err := atk.Keys()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Sample the covert sequence with a stride so the burst's
+			// megaflows spread across the whole resident ladder instead of
+			// clustering at the front of the scan order.
+			keys := make([]flow.Key, n)
+			for i := range keys {
+				keys[i] = covert[(i*len(covert)/n)%len(covert)]
+				keys[i].Set(flow.FieldInPort, 66)
+			}
+			return keys
+		}
+	}
+	workloads := []workload{
+		{
+			name: "victim/256",
+			burst: func(_ *testing.B, sw *dataplane.Switch) []flow.Key {
+				gen := victimGen()
+				keys := make([]flow.Key, 256)
+				for i := range keys {
+					keys[i] = gen.Next()
+				}
+				for _, k := range keys { // warm: victim megaflows install last
+					sw.ProcessKey(2, k)
+				}
+				return keys
+			},
+		},
+		{
+			name: "elephant/8x32",
+			burst: func(_ *testing.B, sw *dataplane.Switch) []flow.Key {
+				gen := victimGen()
+				keys := make([]flow.Key, 0, 8*32)
+				for f := 0; f < 8; f++ {
+					k := gen.Next()
+					sw.ProcessKey(2, k)
+					for j := 0; j < 32; j++ {
+						keys = append(keys, k)
+					}
+				}
+				return keys
+			},
+		},
+		{name: "attack8192/32", burst: covertBurst(32)},
+	}
+	for _, w := range workloads {
+		for _, staged := range []bool{false, true} {
+			name, opts := w.name+"/flat", []dataplane.Option{noEMC}
+			if staged {
+				name = w.name + "/pruned"
+				opts = append(opts, dataplane.WithStagedPruning())
+			}
+			b.Run(name, func(b *testing.B) {
+				sw := attackSwitch(b, attack.ThreeField(), true, opts...)
+				keys := w.burst(b, sw)
+				var out []dataplane.Decision
+				// Warm to steady state before the timer: the staged legs
+				// drive several full RankEvery windows so the EWMA scan
+				// ranking converges — otherwise ns/op depends on how many
+				// pre-convergence sweeps fall inside b.N, which would make
+				// the CI regression gate flaky across benchtimes.
+				warmLookups := len(keys)
+				if staged {
+					warmLookups = 6 * 4096
+				}
+				for done := 0; done < warmLookups; done += len(keys) {
+					out = sw.ProcessBatch(3, keys, out)
+				}
+				mf := sw.Megaflow()
+				scans0, billed0 := mf.MasksScanned, mf.RunBilledScans
+				visits0, prunes0 := mf.SubtableVisits, mf.SubtablePrunes
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out = sw.ProcessBatch(4, keys, out)
+				}
+				b.StopTimer()
+				n := float64(b.N)
+				if staged {
+					b.ReportMetric(float64(mf.SubtableVisits-visits0)/n, "visits/burst")
+					b.ReportMetric(float64(mf.SubtablePrunes-prunes0)/n, "prunes/burst")
+				} else {
+					physical := (mf.MasksScanned - scans0) - (mf.RunBilledScans - billed0)
+					b.ReportMetric(float64(physical)/n, "visits/burst")
+				}
+				b.ReportMetric(float64(len(keys)), "burst")
+			})
+		}
+	}
+}
+
 // BenchmarkHierarchies — the tier-composition payoff: victim per-packet
 // cost under the resident 512-mask attack, for each cache hierarchy the
 // options can assemble. The attack floods 8192 distinct covert keys per

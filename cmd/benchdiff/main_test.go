@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkFoo-8   \t 123\t  456.5 ns/op", "BenchmarkFoo", 456.5, true},
+		{"BenchmarkBar/sub/case-16  10  99 ns/op  12 B/op", "BenchmarkBar/sub/case", 99, true},
+		{"BenchmarkNoProcs 5 10 ns/op", "BenchmarkNoProcs", 10, true},
+		{"ok  \tpolicyinject\t1.2s", "", 0, false},
+		{"goos: linux", "", 0, false},
+		{"--- BENCH: BenchmarkFoo", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseBenchLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("parseBenchLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func TestParseBenchFileJSONAndPlain(t *testing.T) {
+	// Real -json streams flush the benchmark name and its counters as
+	// separate output events; the parser must reassemble them.
+	jsonRun := writeFile(t, "run.json", `
+{"Action":"output","Package":"p","Output":"goos: linux\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkA-8   \t"}
+{"Action":"output","Package":"p","Output":" 100   200.0 ns/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkA-8   120   180.0 ns/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkB/x-8   50   1000 ns/op   32.0 burst\n"}
+{"Action":"run","Package":"p","Test":"BenchmarkC"}
+`)
+	run, err := parseBenchFile(jsonRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated benchmark keeps the minimum ns/op.
+	if run.ns["BenchmarkA"] != 180 || run.ns["BenchmarkB/x"] != 1000 || len(run.ns) != 2 {
+		t.Fatalf("json parse = %v", run.ns)
+	}
+
+	plainRun := writeFile(t, "run.txt", `
+goos: linux
+BenchmarkA-4    100    250 ns/op
+BenchmarkB/x-4   50   1500 ns/op
+PASS
+`)
+	run, err = parseBenchFile(plainRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ns["BenchmarkA"] != 250 || run.ns["BenchmarkB/x"] != 1500 {
+		t.Fatalf("plain parse = %v", run.ns)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	oldRun := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkGone": 100}
+	newRun := map[string]float64{"BenchmarkA": 120, "BenchmarkB": 130, "BenchmarkNew": 50}
+	pins := []string{"BenchmarkA", "BenchmarkB", "BenchmarkGone", "BenchmarkNew"}
+	vs := compare(pins, oldRun, newRun, 1.25, false)
+	want := map[string]struct {
+		status string
+		fail   bool
+	}{
+		"BenchmarkA":    {"ok", false},          // 1.20x, inside threshold
+		"BenchmarkB":    {"REGRESSED", true},    // 1.30x
+		"BenchmarkGone": {"MISSING", true},      // dropped from the new run
+		"BenchmarkNew":  {"no-baseline", false}, // not yet in the snapshot
+	}
+	if len(vs) != len(pins) {
+		t.Fatalf("verdicts = %d", len(vs))
+	}
+	for _, v := range vs {
+		w := want[v.name]
+		if v.status != w.status || v.gateFail != w.fail {
+			t.Errorf("%s: status=%q fail=%v, want %q/%v", v.name, v.status, v.gateFail, w.status, w.fail)
+		}
+	}
+}
+
+// TestCompareCPUMismatchAdvisory: across machines a ratio blowout must
+// not fail the gate (it measures hardware, not the PR), but a missing
+// pinned benchmark still does.
+func TestCompareCPUMismatchAdvisory(t *testing.T) {
+	oldRun := map[string]float64{"BenchmarkB": 100, "BenchmarkGone": 100}
+	newRun := map[string]float64{"BenchmarkB": 200}
+	vs := compare([]string{"BenchmarkB", "BenchmarkGone"}, oldRun, newRun, 1.25, true)
+	if vs[0].gateFail || vs[0].status != "REGRESSED (advisory: cpu mismatch)" {
+		t.Errorf("BenchmarkB: status=%q fail=%v, want advisory/no-fail", vs[0].status, vs[0].gateFail)
+	}
+	if !vs[1].gateFail || vs[1].status != "MISSING" {
+		t.Errorf("BenchmarkGone: status=%q fail=%v, want MISSING/fail", vs[1].status, vs[1].gateFail)
+	}
+}
+
+func TestReadPins(t *testing.T) {
+	pins, err := readPins(writeFile(t, "pins.txt", `
+# comment
+BenchmarkA
+
+BenchmarkB/sub
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pins) != 2 || pins[0] != "BenchmarkA" || pins[1] != "BenchmarkB/sub" {
+		t.Fatalf("pins = %v", pins)
+	}
+}
+
+func TestParseBenchFileCPUHeader(t *testing.T) {
+	run, err := parseBenchFile(writeFile(t, "run.txt", `
+goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkA-4 100 250 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", run.cpu)
+	}
+}

@@ -23,6 +23,7 @@ func main() {
 		mitigation.SMC(),
 		mitigation.EMCPlusSMC(),
 		mitigation.SortedTSS(),
+		mitigation.StagedPruning(),
 		mitigation.MaskCap(64),
 		mitigation.MaskCapLRUSorted(64),
 		mitigation.CacheLess(),
@@ -39,6 +40,9 @@ reading the table:
                covert stream cannot thrash; warm flows skip the scan
   emc+smc      the full 2.10 hierarchy: EMC for the hottest, SMC underneath
   sorted-tss   post-paper OVS ranking: rescues warm flows; cold misses still pay
+  staged-pruning OVS staged lookups + ports filter: every attacker mask stays
+               resident, but nearly all are rejected without a hash probe
+               (see avg_scan) — cold misses recover too
   mask-cap     bounds masks but displaces victims' megaflows into upcalls
   cap-lru-sort keeps hot victim masks resident AND early: strong recovery
   cache-less   immune by construction (paper ref [4]), no cache wins either`)

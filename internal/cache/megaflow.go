@@ -48,7 +48,26 @@ type MegaflowConfig struct {
 	// SortEvery is the number of lookups between reorderings when
 	// SortByHits is set; 0 means 4096.
 	SortEvery int
+	// StagedPruning enables staged subtable lookups with signature and
+	// L4-ports pruning plus EWMA hit-rate scan ranking — the OVS
+	// countermeasure pair (classifier staged indices + ports trie) that
+	// lets most subtables be rejected without a full hash probe. Lookup
+	// results (hits, verdicts) are identical to the flat scan; the
+	// reported scan cost becomes *physical* — subtables actually hashed —
+	// instead of the flat scan position, and the SubtableVisits /
+	// SubtablePrunes / StageBails counters open up. Staged pruning
+	// assumes megaflows are disjoint (which slow-path synthesis
+	// guarantees), since ranking reorders the scan. Overrides SortByHits.
+	StagedPruning bool
+	// RankEvery is the number of lookups between EWMA re-rankings of the
+	// scan order when StagedPruning is set; 0 means 4096. The batched
+	// sweep re-ranks only at burst boundaries.
+	RankEvery int
 }
+
+// rankAlpha is the EWMA smoothing factor of the staged-pruning scan
+// ranking: ewma' = alpha*hitsInWindow + (1-alpha)*ewma.
+const rankAlpha = 0.25
 
 // Entry is one cached megaflow.
 type Entry struct {
@@ -68,8 +87,9 @@ func (e *Entry) Dead() bool { return e.dead }
 type mfSubtable struct {
 	mask    flow.Mask
 	entries map[flow.Key]*Entry
-	hits    uint64 // for sorted TSS
-	lastHit uint64 // for LRU mask eviction
+	hits    uint64       // for sorted TSS
+	lastHit uint64       // for LRU mask eviction
+	staged  *stagedState // staged-lookup/pruning state; nil unless StagedPruning
 }
 
 // Megaflow is the TSS-based megaflow cache. Not safe for concurrent use.
@@ -81,12 +101,32 @@ type Megaflow struct {
 	nEntries  int
 
 	sinceSort int
+	lastRank  uint64 // Lookups value at the last EWMA re-ranking
+
+	batchCost []int // per-key scan-cost scratch of the staged batch sweep
 
 	// Stats
 	Lookups, Hits, Misses uint64
 	// MasksScanned accumulates the subtables visited across lookups; the
-	// average per lookup is the paper's cost metric.
+	// average per lookup is the paper's cost metric. With StagedPruning
+	// it counts *physical* visits (stage-hash or full probes), so the
+	// pruning win shows up directly.
 	MasksScanned uint64
+
+	// RunBilledScans is the portion of MasksScanned billed by AccountRun
+	// for coalesced same-flow runs — logical scans with no physical
+	// probe behind them. MasksScanned - RunBilledScans is the physical
+	// probe count of a flat scan (the staged SubtableVisits equivalent).
+	RunBilledScans uint64
+
+	// Staged-pruning stats (zero unless StagedPruning is enabled):
+	// SubtableVisits counts subtables actually costed (a stage hash or a
+	// full probe ran); SubtablePrunes counts per-key visits avoided by
+	// the signature/ports prefilters (burst-level skips bill one prune
+	// per remaining key, so scalar and batch sweeps count identically);
+	// StageBails is the subset of visits rejected at a stage-hash index
+	// before the full probe; BurstSweeps counts LookupBatch sweeps.
+	SubtableVisits, SubtablePrunes, StageBails, BurstSweeps uint64
 }
 
 // NewMegaflow builds a megaflow cache per cfg.
@@ -97,6 +137,14 @@ func NewMegaflow(cfg MegaflowConfig) *Megaflow {
 	}
 	if cfg.SortEvery == 0 {
 		cfg.SortEvery = 4096
+	}
+	if cfg.RankEvery == 0 {
+		cfg.RankEvery = 4096
+	}
+	if cfg.StagedPruning {
+		// Staged pruning owns the scan order (EWMA ranking); hit-count
+		// resorting would fight it.
+		cfg.SortByHits = false
 	}
 	return &Megaflow{
 		cfg:    cfg,
@@ -116,6 +164,9 @@ func (m *Megaflow) NumMasks() int { return len(m.subtables) }
 // the first hit. The returned scan count is the number of subtables
 // visited, the direct cost measure of TSS.
 func (m *Megaflow) Lookup(k flow.Key, now uint64) (*Entry, int, bool) {
+	if m.cfg.StagedPruning {
+		return m.lookupStaged(k, now)
+	}
 	m.Lookups++
 	scanned := 0
 	for _, st := range m.subtables {
@@ -152,6 +203,10 @@ func (m *Megaflow) Lookup(k flow.Key, now uint64) (*Entry, int, bool) {
 // sweep falls back to per-key scalar lookups, because re-sort boundaries
 // are clocked per lookup and the inverted loop would shift them mid-burst.
 func (m *Megaflow) LookupBatch(keys []flow.Key, now uint64, ents []*Entry, costs []int, miss *burst.Bitmap) {
+	if m.cfg.StagedPruning {
+		m.lookupBatchStaged(keys, now, ents, costs, miss)
+		return
+	}
 	if m.cfg.SortByHits {
 		miss.ForEach(func(i int) {
 			ent, cost, ok := m.Lookup(keys[i], now)
@@ -217,11 +272,15 @@ func (m *Megaflow) AccountRun(ent *Entry, n int, cost int, now uint64) bool {
 	m.Lookups += nn
 	m.Hits += nn
 	m.MasksScanned += nn * uint64(cost)
+	m.RunBilledScans += nn * uint64(cost)
 	ent.Hits += nn
 	ent.LastHit = now
 	if st := m.byMask[ent.Match.Mask]; st != nil {
 		st.hits += nn
 		st.lastHit = now
+		if st.staged != nil {
+			st.staged.sinceRank += nn
+		}
 	}
 	return true
 }
@@ -266,6 +325,9 @@ func (m *Megaflow) Insert(match flow.Match, v Verdict, now uint64) (*Entry, erro
 			m.evictColdestSubtable()
 		}
 		st = &mfSubtable{mask: match.Mask, entries: make(map[flow.Key]*Entry), lastHit: now}
+		if m.cfg.StagedPruning {
+			st.staged = newStagedState(match.Mask)
+		}
 		m.byMask[match.Mask] = st
 		m.subtables = append(m.subtables, st)
 	}
@@ -282,8 +344,20 @@ func (m *Megaflow) Insert(match flow.Match, v Verdict, now uint64) (*Entry, erro
 	}
 	ent := &Entry{Match: match, Verdict: v, Added: now, LastHit: now}
 	st.entries[match.Key] = ent
+	st.addEntry(match.Key)
 	m.nEntries++
 	return ent, nil
+}
+
+// removeEntry is the single exit door for a resident entry: every
+// eviction path funnels through it so the staged prefilters (stage
+// indices, signature sets, ports tries) stay consistent with the entries
+// map.
+func (m *Megaflow) removeEntry(st *mfSubtable, k flow.Key, ent *Entry) {
+	ent.dead = true
+	delete(st.entries, k)
+	st.dropEntry(k)
+	m.nEntries--
 }
 
 // Remove deletes the entry with exactly the given match.
@@ -297,9 +371,7 @@ func (m *Megaflow) Remove(match flow.Match) bool {
 	if !ok {
 		return false
 	}
-	ent.dead = true
-	delete(st.entries, match.Key)
-	m.nEntries--
+	m.removeEntry(st, match.Key, ent)
 	if len(st.entries) == 0 {
 		m.dropSubtable(st)
 	}
@@ -319,9 +391,7 @@ func (m *Megaflow) evictColdestSubtable() {
 		}
 	}
 	for k, ent := range coldest.entries {
-		ent.dead = true
-		delete(coldest.entries, k)
-		m.nEntries--
+		m.removeEntry(coldest, k, ent)
 	}
 	m.dropSubtable(coldest)
 }
@@ -380,9 +450,7 @@ func (m *Megaflow) TrimToLimit() int {
 	})
 	n := m.nEntries - m.limit
 	for _, r := range all[:n] {
-		r.ent.dead = true
-		delete(r.st.entries, r.key)
-		m.nEntries--
+		m.removeEntry(r.st, r.key, r.ent)
 	}
 	for i := 0; i < len(m.subtables); {
 		if len(m.subtables[i].entries) == 0 {
@@ -419,9 +487,7 @@ func (m *Megaflow) EvictIdle(deadline uint64) int {
 		st := m.subtables[i]
 		for k, ent := range st.entries {
 			if ent.LastHit < deadline {
-				ent.dead = true
-				delete(st.entries, k)
-				m.nEntries--
+				m.removeEntry(st, k, ent)
 				evicted++
 			}
 		}
@@ -446,9 +512,7 @@ func (m *Megaflow) Revalidate(check func(*Entry) (Verdict, bool)) int {
 		for k, ent := range st.entries {
 			v, keep := check(ent)
 			if !keep || v != ent.Verdict {
-				ent.dead = true
-				delete(st.entries, k)
-				m.nEntries--
+				m.removeEntry(st, k, ent)
 				flushed++
 			}
 		}
@@ -498,5 +562,14 @@ func (m *Megaflow) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "megaflow cache: %d entries, %d masks, %.2f avg masks/lookup (hit %d / miss %d)\n",
 		m.nEntries, len(m.subtables), m.AvgMasksScanned(), m.Hits, m.Misses)
+	if m.cfg.StagedPruning {
+		total := m.SubtableVisits + m.SubtablePrunes
+		pruned := 0.0
+		if total > 0 {
+			pruned = 100 * float64(m.SubtablePrunes) / float64(total)
+		}
+		fmt.Fprintf(&b, "  staged pruning: %d visited / %d pruned (%.1f%%), %d stage bails, %d burst sweeps\n",
+			m.SubtableVisits, m.SubtablePrunes, pruned, m.StageBails, m.BurstSweeps)
+	}
 	return b.String()
 }

@@ -67,20 +67,30 @@ func fixtures(t *testing.T) map[string]func() tierFixture {
 			return refFixture(dataplane.NewSMCTier(cache.SMCConfig{}))
 		},
 		"megaflow": func() tierFixture {
-			tier := dataplane.NewMegaflowTier(cache.MegaflowConfig{})
-			return tierFixture{
-				tier: tier,
-				seed: func(t *testing.T, k flow.Key, v cache.Verdict, now uint64) *cache.Entry {
-					t.Helper()
-					ent, err := tier.InsertMegaflow(flow.Match{Key: k, Mask: flow.ExactMask}, v, now)
-					if err != nil {
-						t.Fatal(err)
-					}
-					return ent
-				},
-				kill: nil, // authoritative: its entries cannot dangle
-			}
+			return megaflowFixture(cache.MegaflowConfig{})
 		},
+		// The staged-pruning megaflow variant must satisfy the exact same
+		// behavioural contract — pruning is an optimisation, not a
+		// semantic change.
+		"megaflow-staged": func() tierFixture {
+			return megaflowFixture(cache.MegaflowConfig{StagedPruning: true})
+		},
+	}
+}
+
+func megaflowFixture(cfg cache.MegaflowConfig) tierFixture {
+	tier := dataplane.NewMegaflowTier(cfg)
+	return tierFixture{
+		tier: tier,
+		seed: func(t *testing.T, k flow.Key, v cache.Verdict, now uint64) *cache.Entry {
+			t.Helper()
+			ent, err := tier.InsertMegaflow(flow.Match{Key: k, Mask: flow.ExactMask}, v, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ent
+		},
+		kill: nil, // authoritative: its entries cannot dangle
 	}
 }
 

@@ -65,6 +65,7 @@ type config struct {
 	tiers      []Tier // custom hierarchy (tiersSet): other cache opts ignored
 	tiersSet   bool
 	noCoalesce bool
+	staged     bool
 }
 
 // Option configures a Switch under construction.
@@ -87,6 +88,13 @@ func WithSMC(cfg cache.SMCConfig) Option { return func(c *config) { c.smc = &cfg
 // WithMegaflow sets the megaflow TSS configuration (flow limits, mask
 // quotas, sorted-TSS mitigation).
 func WithMegaflow(cfg cache.MegaflowConfig) Option { return func(c *config) { c.megaflow = cfg } }
+
+// WithStagedPruning enables staged subtable lookups with signature and
+// L4-ports pruning plus EWMA scan ranking in the default megaflow tier
+// (cache.MegaflowConfig.StagedPruning) — the OVS countermeasure that
+// rejects most subtables without a full hash probe, bending the paper's
+// attack curve. Composes with WithMegaflow in any order.
+func WithStagedPruning() Option { return func(c *config) { c.staged = true } }
 
 // WithClassifier sets the slow-path classifier configuration.
 func WithClassifier(cfg classifier.Config) Option { return func(c *config) { c.classifier = cfg } }
@@ -234,6 +242,9 @@ func New(name string, opts ...Option) *Switch {
 	}
 	if cfg.maxIdle == 0 {
 		cfg.maxIdle = 10
+	}
+	if cfg.staged {
+		cfg.megaflow.StagedPruning = true
 	}
 	tiers := cfg.tiers
 	if !cfg.tiersSet {

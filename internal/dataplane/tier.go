@@ -125,6 +125,13 @@ type TierStats struct {
 	Hits, Misses, Inserts, Evictions uint64
 	Entries, Capacity                int
 	Masks                            int // distinct masks, for TSS tiers (0 otherwise)
+
+	// Staged-pruning counters of the megaflow sweep (zero unless
+	// cache.MegaflowConfig.StagedPruning is enabled): subtables actually
+	// probed vs rejected for free by the signature/ports prefilters.
+	// Identical whether the tier is driven scalar or batched; the burst
+	// count lives on cache.Megaflow.BurstSweeps.
+	SubtableVisits, SubtablePrunes uint64
 }
 
 func (ts TierStats) String() string {
@@ -135,7 +142,12 @@ func (ts TierStats) String() string {
 	if ts.Masks > 0 {
 		s += fmt.Sprintf(", %d masks", ts.Masks)
 	}
-	return s + fmt.Sprintf(" (hit %d / miss %d)", ts.Hits, ts.Misses)
+	s += fmt.Sprintf(" (hit %d / miss %d)", ts.Hits, ts.Misses)
+	if ts.SubtableVisits+ts.SubtablePrunes > 0 {
+		s += fmt.Sprintf(", staged: %d visited / %d pruned",
+			ts.SubtableVisits, ts.SubtablePrunes)
+	}
+	return s
 }
 
 // EMCTier adapts the exact-match cache to the Tier interface.
@@ -291,5 +303,6 @@ func (t *MegaflowTier) Stats() TierStats {
 	return TierStats{
 		Name: t.Name(), Hits: t.mfc.Hits, Misses: t.mfc.Misses,
 		Entries: t.mfc.Len(), Masks: t.mfc.NumMasks(),
+		SubtableVisits: t.mfc.SubtableVisits, SubtablePrunes: t.mfc.SubtablePrunes,
 	}
 }

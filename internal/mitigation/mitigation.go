@@ -100,6 +100,19 @@ func SortedTSS() Variant {
 	}}
 }
 
+// StagedPruning enables staged subtable lookups with signature/ports
+// pruning and EWMA scan ranking — the OVS countermeasure pair
+// (classifier staged indices + ports trie) this repo models as
+// cache.MegaflowConfig.StagedPruning. Unlike the quota defences it
+// changes no caching policy: every attacker megaflow stays resident, but
+// nearly all of their subtables are rejected without a hash probe, so
+// the mask ladder loses its leverage for victim traffic.
+func StagedPruning() Variant {
+	return Variant{Name: "staged-pruning", Build: func() Target {
+		return dataplane.New("staged-pruning", dataplane.WithoutEMC(), dataplane.WithStagedPruning())
+	}}
+}
+
 // MaskCap rejects megaflows beyond n distinct masks.
 func MaskCap(n int) Variant {
 	return Variant{Name: fmt.Sprintf("mask-cap-%d", n), Build: func() Target {
@@ -183,11 +196,19 @@ type Outcome struct {
 	CostAfter  time.Duration // victim per-packet cost with the attack resident
 	Slowdown   float64       // CostAfter / CostBefore
 	FlowLimit  int           // revalidator flow limit after maintenance (0: no revalidator)
+	// AvgScan is the average subtables per megaflow lookup over the run:
+	// scan depth for flat-scan variants, subtables physically probed
+	// (stage hashes + full probes) for staged-pruning ones — the column
+	// that shows what pruning buys without evicting anything.
+	AvgScan float64
 }
 
 func (o Outcome) String() string {
 	s := fmt.Sprintf("%-14s masks=%-5d before=%-8v after=%-8v slowdown=%.1fx",
 		o.Name, o.Masks, o.CostBefore, o.CostAfter, o.Slowdown)
+	if o.AvgScan > 0 {
+		s += fmt.Sprintf(" avg-scan=%.1f", o.AvgScan)
+	}
 	if o.FlowLimit > 0 {
 		s += fmt.Sprintf(" flow-limit=%d", o.FlowLimit)
 	}
@@ -291,6 +312,7 @@ func Evaluate(atk *attack.Attack, variants []Variant, samples int) ([]Outcome, e
 		}
 		if dp, ok := tgt.(*dataplane.Switch); ok {
 			o.Masks = dp.Megaflow().NumMasks()
+			o.AvgScan = dp.Megaflow().AvgMasksScanned()
 		}
 		out = append(out, o)
 	}
@@ -348,7 +370,7 @@ func (c *churnVictim) Next() flow.Key {
 
 // Table renders outcomes for cmd/figures.
 func Table(outcomes []Outcome) *metrics.Table {
-	t := &metrics.Table{Header: []string{"variant", "masks", "ns_before", "ns_after", "slowdown", "flow_limit"}}
+	t := &metrics.Table{Header: []string{"variant", "masks", "ns_before", "ns_after", "slowdown", "avg_scan", "flow_limit"}}
 	for _, o := range outcomes {
 		lim := "-"
 		if o.FlowLimit > 0 {
@@ -357,7 +379,7 @@ func Table(outcomes []Outcome) *metrics.Table {
 		t.AddRow(o.Name, o.Masks,
 			float64(o.CostBefore.Nanoseconds()),
 			float64(o.CostAfter.Nanoseconds()),
-			o.Slowdown, lim)
+			o.Slowdown, o.AvgScan, lim)
 	}
 	return t
 }

@@ -181,3 +181,25 @@ func TestSortedTSSMissPathStillExposed(t *testing.T) {
 		t.Errorf("cold miss scanned only %d masks; the miss path should pay the full scan", d.MasksScanned)
 	}
 }
+
+// TestStagedPruningRestoresVictim: staged pruning leaves every attacker
+// megaflow resident (full mask count) yet strips the ladder's leverage —
+// the victim's per-packet scan collapses to a handful of physical
+// subtable probes and the slowdown improves on vanilla by a wide margin.
+func TestStagedPruningRestoresVictim(t *testing.T) {
+	out := evaluate(t, []Variant{NoEMC(), StagedPruning()})
+	vanilla, staged := out[0], out[1]
+	if staged.Masks < 480 {
+		t.Errorf("staged pruning should not suppress masks; got %d", staged.Masks)
+	}
+	if staged.Slowdown*2 > vanilla.Slowdown {
+		t.Errorf("staged pruning (%.1fx) should improve on vanilla (%.1fx) by >= 2x",
+			staged.Slowdown, vanilla.Slowdown)
+	}
+	if staged.AvgScan >= vanilla.AvgScan/4 {
+		t.Errorf("avg scan %.1f not <= vanilla/4 (%.1f)", staged.AvgScan, vanilla.AvgScan)
+	}
+	if !strings.Contains(Table(out).String(), "avg_scan") {
+		t.Error("table lost the avg_scan column")
+	}
+}

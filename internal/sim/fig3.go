@@ -47,6 +47,12 @@ type Fig3Config struct {
 	SMC bool
 	// SortByHits enables the sorted-TSS mitigation in the megaflow cache.
 	SortByHits bool
+	// StagedPruning enables staged subtable lookups with signature/ports
+	// pruning and EWMA scan ranking in the megaflow tier — the OVS
+	// countermeasure whose curve cmd/figures plots next to vanilla and
+	// SMC: the mask population still explodes, but the victim's sweep
+	// skips the covert ladder, so throughput holds.
+	StagedPruning bool
 	// CostSamples is the per-tick measurement batch; default 64.
 	CostSamples int
 }
@@ -118,6 +124,9 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	}
 	if cfg.SMC {
 		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithSMC(cache.SMCConfig{}))
+	}
+	if cfg.StagedPruning {
+		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithStagedPruning())
 	}
 	// Cache maintenance is owned by the clock-driven revalidator actor; the
 	// default config (one round per tick, 10-tick max-idle, generous dump

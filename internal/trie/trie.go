@@ -144,6 +144,58 @@ func (t *Trie) Lookup(value uint64, plen int) Result {
 	return Result{CanMatch: n.terminals > 0, CheckBits: plen}
 }
 
+// Min returns the first stored prefix in Prefixes() order — the one with
+// the lexicographically smallest bit string (shorter prefixes before
+// their extensions) — and false when the trie is empty. Together with Max
+// it bounds the stored values, which is what the megaflow cache's
+// per-subtable ports range filter consults on every burst.
+func (t *Trie) Min() (Prefix, bool) {
+	n := t.root
+	value, depth := uint64(0), 0
+	for {
+		if n.terminals > 0 {
+			return Prefix{Value: value << uint(t.width-depth), Len: depth, Count: n.terminals}, true
+		}
+		switch {
+		case n.child[0] != nil:
+			n = n.child[0]
+			value <<= 1
+		case n.child[1] != nil:
+			n = n.child[1]
+			value = value<<1 | 1
+		default:
+			return Prefix{}, false // only reachable on an empty trie
+		}
+		depth++
+	}
+}
+
+// Max returns the last stored prefix in Prefixes() order — the one with
+// the lexicographically largest bit string — and false when the trie is
+// empty. See Min.
+func (t *Trie) Max() (Prefix, bool) {
+	if t.size == 0 {
+		return Prefix{}, false
+	}
+	n := t.root
+	value, depth := uint64(0), 0
+	for {
+		switch {
+		case n.child[1] != nil:
+			n = n.child[1]
+			value = value<<1 | 1
+		case n.child[0] != nil:
+			n = n.child[0]
+			value <<= 1
+		default:
+			// Deepest node on the rightmost path; pruning guarantees it
+			// carries a terminal.
+			return Prefix{Value: value << uint(t.width-depth), Len: depth, Count: n.terminals}, true
+		}
+		depth++
+	}
+}
+
 // Prefixes returns all stored prefixes as (value, plen, count) triples in
 // lexicographic order, for diagnostics and tests.
 func (t *Trie) Prefixes() []Prefix {

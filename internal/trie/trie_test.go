@@ -308,3 +308,74 @@ func TestAttackerControlsDivergenceDepth(t *testing.T) {
 		}
 	}
 }
+
+// TestMinMax pins Min/Max against the first/last element of Prefixes(),
+// across random populations and under removals — the bookkeeping the
+// megaflow ports range filter depends on.
+func TestMinMax(t *testing.T) {
+	tr := New(16)
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty trie reported a prefix")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty trie reported a prefix")
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	type pv struct {
+		v    uint64
+		plen int
+	}
+	var pop []pv
+	check := func() {
+		t.Helper()
+		all := tr.Prefixes()
+		mn, okMin := tr.Min()
+		mx, okMax := tr.Max()
+		if len(all) == 0 {
+			if okMin || okMax {
+				t.Fatalf("empty trie: Min ok=%v Max ok=%v", okMin, okMax)
+			}
+			return
+		}
+		if !okMin || !okMax {
+			t.Fatalf("non-empty trie: Min ok=%v Max ok=%v", okMin, okMax)
+		}
+		if mn != all[0] {
+			t.Fatalf("Min = %v, Prefixes()[0] = %v", mn, all[0])
+		}
+		if mx != all[len(all)-1] {
+			t.Fatalf("Max = %v, Prefixes()[last] = %v", mx, all[len(all)-1])
+		}
+	}
+	for i := 0; i < 200; i++ {
+		p := pv{v: rng.Uint64() & 0xffff, plen: 1 + rng.Intn(16)}
+		tr.Insert(p.v, p.plen)
+		pop = append(pop, p)
+		check()
+	}
+	rng.Shuffle(len(pop), func(i, j int) { pop[i], pop[j] = pop[j], pop[i] })
+	for _, p := range pop {
+		if !tr.Remove(p.v, p.plen) {
+			t.Fatalf("Remove(%#x/%d) = false for a stored prefix", p.v, p.plen)
+		}
+		check()
+	}
+}
+
+// TestMinMaxSamePlen pins the single-plen regime the per-subtable ports
+// filter actually runs in: Min/Max must be the numeric min/max of the
+// masked values.
+func TestMinMaxSamePlen(t *testing.T) {
+	tr := New(16)
+	const plen = 12
+	vals := []uint64{0x5550, 0x0010, 0xfff0, 0x8880, 0x0020}
+	for _, v := range vals {
+		tr.Insert(v, plen)
+	}
+	mn, _ := tr.Min()
+	mx, _ := tr.Max()
+	if mn.Value != 0x0010&^0xf || mx.Value != 0xfff0 {
+		t.Fatalf("min/max = %#x/%#x, want 0x0010/0xfff0", mn.Value, mx.Value)
+	}
+}
