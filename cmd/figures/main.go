@@ -10,6 +10,10 @@
 //	figures -fig all         everything above
 //
 // Output is plain text tables plus optional CSV/gnuplot blocks (-csv).
+//
+// The timeline and matrix figures (3, flowlimit, mitigation) execute the
+// corresponding embedded scenario packs (see scenarios/ and cmd/scenario);
+// the remaining figures drive the dataplane directly.
 package main
 
 import (
@@ -25,7 +29,9 @@ import (
 	"policyinject/internal/flowtable"
 	"policyinject/internal/metrics"
 	"policyinject/internal/mitigation"
+	"policyinject/internal/scenario"
 	"policyinject/internal/sim"
+	"policyinject/scenarios"
 )
 
 func main() {
@@ -163,57 +169,92 @@ func figSweep(csv bool) error {
 	return nil
 }
 
+// loadPack pulls a pack from the embedded starter corpus.
+func loadPack(file string) (*scenario.Pack, error) {
+	p, err := scenario.LoadFS(scenarios.FS, file)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// runByName indexes a pack result's variant runs.
+func runByName(res *scenario.Result, name string) (*scenario.VariantRun, error) {
+	for _, r := range res.Runs {
+		if r.Variant == name {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("pack %s has no variant %q", res.Pack, name)
+}
+
+// fig3Summary renders a timeline run in the legacy Fig3Result shape.
+func fig3Summary(r *scenario.VariantRun) string {
+	s := r.Summary
+	return fmt.Sprintf("victim %.3f -> %.3f Gbps (%.0f%% degradation), peak %d megaflow masks",
+		s["mean_before"], s["mean_after"], s["degradation"]*100, int(s["peak_masks"]))
+}
+
+// renamed returns a copy of a timeline series under a variant-qualified
+// name, so the CSV blocks stay distinguishable to consumers.
+func renamed(r *scenario.VariantRun, series, suffix string) *metrics.Series {
+	s := *r.Timeline.Series(series)
+	s.Name += suffix
+	return &s
+}
+
+// fig3 runs the fig3 scenario pack (fig3-quick under -quick): the same
+// vanilla / smc / staged-pruning triple the hand-wired timeline used to
+// build, now declared in scenarios/fig3.yaml. The smc variant is the
+// post-paper counterpoint (the huge signature-match cache keeps warm
+// victim flows off the exploded mask scan); the pruned variant shows the
+// OVS countermeasure pair rejecting the covert ladder without hash
+// probes while the mask count still explodes.
 func fig3(csv bool, duration, attackStart int, quick bool) error {
 	header("Fig. 3 — OVS degradation in Kubernetes (victim throughput & megaflows)")
-	cfg := sim.Fig3Config{Duration: duration, AttackStart: attackStart}
+	file := "fig3.yaml"
+	opt := scenario.RunOptions{Duration: duration, AttackStart: attackStart}
 	if quick {
-		cfg = sim.Fig3Config{Duration: 30, AttackStart: 10, Attack: attack.TwoField(), FrameLen: 128}
+		file, opt = "fig3-quick.yaml", scenario.RunOptions{}
 	}
-	res, err := sim.RunFig3(cfg)
+	pack, err := loadPack(file)
 	if err != nil {
 		return err
 	}
-	// SMC curve: the same timeline on the OVS ≥ 2.10 hierarchy. The huge
-	// signature-match cache keeps warm victim flows off the exploded mask
-	// scan, so the post-attack plateau recovers — the post-paper
-	// counterpoint the SMC knob exists to show.
-	smcCfg := cfg
-	smcCfg.SMC = true
-	smcRes, err := sim.RunFig3(smcCfg)
+	res, err := scenario.Run(pack, opt)
 	if err != nil {
 		return err
 	}
-	// Staged-pruning curve: the OVS countermeasure pair (staged subtable
-	// indices + ports filter). The mask count still explodes — nothing is
-	// evicted — but victim packets reject the covert ladder without hash
-	// probes, so the throughput curve barely dips.
-	prunedCfg := cfg
-	prunedCfg.StagedPruning = true
-	prunedRes, err := sim.RunFig3(prunedCfg)
+	vanilla, err := runByName(res, "vanilla")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("vanilla: %v\n", res)
-	fmt.Printf("smc:     %v\n", smcRes)
-	fmt.Printf("pruned:  %v\n", prunedRes)
+	smc, err := runByName(res, "smc")
+	if err != nil {
+		return err
+	}
+	pruned, err := runByName(res, "pruned")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vanilla: %s\n", fig3Summary(vanilla))
+	fmt.Printf("smc:     %s\n", fig3Summary(smc))
+	fmt.Printf("pruned:  %s\n", fig3Summary(pruned))
+	thr := vanilla.Timeline.Series("victim_gbps")
+	masks := vanilla.Timeline.Series("mf_masks")
+	entries := vanilla.Timeline.Series("mf_entries")
 	out := &metrics.Table{Header: []string{"t[s]", "victim_gbps", "victim_gbps(smc)", "victim_gbps(pruned)", "masks", "megaflows"}}
-	for i := 0; i < res.Throughput.Len(); i += 5 {
-		out.AddRow(res.Throughput.T[i], res.Throughput.V[i], smcRes.Throughput.V[i], prunedRes.Throughput.V[i],
-			res.Masks.V[i], res.Megaflows.V[i])
+	for i := 0; i < thr.Len(); i += 5 {
+		out.AddRow(thr.T[i], thr.V[i], smc.Timeline.Series("victim_gbps").V[i],
+			pruned.Timeline.Series("victim_gbps").V[i], masks.V[i], entries.V[i])
 	}
 	fmt.Print(out.String())
 	if csv {
-		// Rename the variant series so the blocks stay distinguishable to
-		// CSV consumers.
-		smcRes.Throughput.Name = "victim_gbps_smc"
-		smcRes.Masks.Name = "mf_masks_smc"
-		smcRes.Megaflows.Name = "mf_entries_smc"
-		prunedRes.Throughput.Name = "victim_gbps_pruned"
-		prunedRes.Masks.Name = "mf_masks_pruned"
-		prunedRes.Megaflows.Name = "mf_entries_pruned"
-		fmt.Println(metrics.CSV(res.Throughput, res.Masks, res.Megaflows))
-		fmt.Println(metrics.CSV(smcRes.Throughput, smcRes.Masks, smcRes.Megaflows))
-		fmt.Println(metrics.CSV(prunedRes.Throughput, prunedRes.Masks, prunedRes.Megaflows))
+		fmt.Println(metrics.CSV(thr, masks, entries))
+		fmt.Println(metrics.CSV(renamed(smc, "victim_gbps", "_smc"),
+			renamed(smc, "mf_masks", "_smc"), renamed(smc, "mf_entries", "_smc")))
+		fmt.Println(metrics.CSV(renamed(pruned, "victim_gbps", "_pruned"),
+			renamed(pruned, "mf_masks", "_pruned"), renamed(pruned, "mf_entries", "_pruned")))
 	}
 	return nil
 }
@@ -224,29 +265,39 @@ func fig3(csv bool, duration, attackStart int, quick bool) error {
 // dump rounds of the covert stream landing, while the control holds flat
 // (and keeps every attacker flow resident).
 func figFlowLimit(csv bool, quick bool) error {
-	cfg := sim.FlowLimitConfig{}
+	file := "flowlimit.yaml"
 	masks := 8192
 	if quick {
-		// Smaller attack with a harder-overrunning dump, and a floor below
-		// the 512-flow residency, so the collapse reaches the floor and the
-		// staleness trim engages within the short timeline.
-		cfg = sim.FlowLimitConfig{Duration: 48, AttackStart: 8, Attack: attack.TwoField(),
-			Interval: 4, DumpRate: 16, MinFlowLimit: 256, FrameLen: 128}
-		masks = 512
+		// The quick pack runs the smaller attack against a harder-overrunning
+		// dump, with a floor below the 512-flow residency, so the collapse
+		// reaches the floor and the staleness trim engages within the short
+		// timeline.
+		file, masks = "flowlimit-quick.yaml", 512
 	}
 	header(fmt.Sprintf("Flow-limit collapse — revalidator backoff under the %d-mask attack", masks))
-	adaptive, err := sim.RunFlowLimit(cfg)
+	pack, err := loadPack(file)
 	if err != nil {
 		return err
 	}
-	fixedCfg := cfg
-	fixedCfg.FixedLimit = true
-	fixed, err := sim.RunFlowLimit(fixedCfg)
+	res, err := scenario.Run(pack, scenario.RunOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("adaptive: %v\n", adaptive)
-	fmt.Printf("fixed:    %v\n", fixed)
+	adaptive, err := runByName(res, "adaptive")
+	if err != nil {
+		return err
+	}
+	fixed, err := runByName(res, "fixed")
+	if err != nil {
+		return err
+	}
+	sum := func(r *scenario.VariantRun) string {
+		s := r.Summary
+		return fmt.Sprintf("flow limit %d -> %d (%d overrun dumps, %d flows trimmed by limit cuts)",
+			int(s["flow_limit_initial"]), int(s["flow_limit_final"]), int(s["overruns"]), int(s["limit_evicted"]))
+	}
+	fmt.Printf("adaptive: %s\n", sum(adaptive))
+	fmt.Printf("fixed:    %s\n", sum(fixed))
 	limA, limF := adaptive.Timeline.Series("flow_limit"), fixed.Timeline.Series("flow_limit")
 	out := &metrics.Table{Header: []string{
 		"t", "flow_limit", "flow_limit(fixed)", "flows", "dump_units", "trimmed", "masks", "victim_gbps"}}
@@ -262,31 +313,21 @@ func figFlowLimit(csv bool, quick bool) error {
 	fmt.Println("OVS heuristic: dump overruns 2x its interval -> limit cut by the overrun factor; healthy dumps regrow by 1000")
 	if csv {
 		fmt.Println(adaptive.Timeline.CSV())
-		limF.Name = "flow_limit_fixed"
-		fmt.Println(metrics.CSV(limF))
+		fmt.Println(metrics.CSV(renamed(fixed, "flow_limit", "_fixed")))
 	}
 	return nil
 }
 
 func figMitigation(bool) error {
 	header("Mitigation comparison under the 512-mask attack (demo discussion)")
-	outcomes, err := mitigation.Evaluate(attack.TwoField(), []mitigation.Variant{
-		mitigation.Vanilla(),
-		mitigation.NoEMC(),
-		mitigation.SMC(),
-		mitigation.EMCPlusSMC(),
-		mitigation.SortedTSS(),
-		mitigation.StagedPruning(),
-		mitigation.MaskCap(64),
-		mitigation.MaskCapLRUSorted(64),
-		mitigation.FixedFlowLimit(),
-		mitigation.AdaptiveFlowLimit(),
-		mitigation.Stateful(),
-		mitigation.CacheLess(),
-	}, 256)
+	pack, err := loadPack("mitigation-matrix.yaml")
 	if err != nil {
 		return err
 	}
-	fmt.Print(mitigation.Table(outcomes).String())
+	res, err := scenario.Run(pack, scenario.RunOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(mitigation.Table(res.Runs[0].Outcomes).String())
 	return nil
 }

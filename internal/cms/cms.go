@@ -60,6 +60,16 @@ type Policy struct {
 	// split the paper describes between stock Kubernetes/OpenStack and
 	// Calico.
 	AllowSrcPortFilters bool
+	// Stateful compiles the policy as a connection-tracking security
+	// group (the OpenStack flavour): whitelist entries admit and commit
+	// new connections, established/reply traffic rides the conntrack
+	// shortcut. Requires nodes whose switches have conntrack enabled.
+	Stateful bool
+	// ExplicitVerdicts honors each entry's Action field, letting a policy
+	// carry deny exceptions between its allows. Off (the default), every
+	// ingress entry is installed as an allow — the whitelist reading, and
+	// the zero Action value would otherwise read as deny.
+	ExplicitVerdicts bool
 }
 
 // Cluster is the CMS state: nodes, tenants, pods and policies.
@@ -197,12 +207,16 @@ func (c *Cluster) ApplyPolicy(tenant, podName string, pol *Policy) error {
 	if p.Tenant != tenant {
 		return fmt.Errorf("cms: tenant %q does not own pod %q", tenant, podName)
 	}
-	theACL := &acl.ACL{Comment: pol.Name}
+	theACL := &acl.ACL{Comment: pol.Name, Stateful: pol.Stateful}
 	for _, e := range pol.Ingress {
 		if !e.SrcPort.Any() && !pol.AllowSrcPortFilters {
 			return fmt.Errorf("cms: policy %q filters on the L4 source port; enable a plugin that supports it (e.g. Calico)", pol.Name)
 		}
-		theACL.Allow(e) // ingress entries are whitelist entries
+		if pol.ExplicitVerdicts && e.Action == flowtable.Deny {
+			theACL.Deny(e) // explicit exception carved out of the whitelist
+		} else {
+			theACL.Allow(e) // ingress entries are whitelist entries
+		}
 	}
 	rules, err := theACL.Compile()
 	if err != nil {

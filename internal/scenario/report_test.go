@@ -1,0 +1,111 @@
+package scenario_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"policyinject/internal/scenario"
+)
+
+// tinyPack is a seconds-long measure-off pack: victim traffic only, so
+// the reporter tests stay fast and deterministic.
+const tinyPack = `name: tiny
+duration: 6
+measure:
+  mode: off
+  cost_samples: 4
+expect:
+  - metric: final_entries
+    op: ">"
+    value: 0
+`
+
+func tinyResult(t *testing.T) *scenario.Result {
+	t.Helper()
+	p, err := scenario.LoadBytes("tiny.yaml", []byte(tinyPack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.Run(p, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestReportersConsistent renders one Result through all three formats
+// and cross-checks the numbers against the in-memory run.
+func TestReportersConsistent(t *testing.T) {
+	res := tinyResult(t)
+	if !res.Passed() {
+		t.Fatalf("tiny pack failed its expectation: %v", res.Checks)
+	}
+	run := res.Runs[0]
+
+	// JSON: parse back and compare the summary map exactly.
+	var doc struct {
+		Pack   string `json:"pack"`
+		Passed bool   `json:"passed"`
+		Runs   []struct {
+			Variant string             `json:"variant"`
+			Summary map[string]float64 `json:"summary"`
+		} `json:"runs"`
+		Checks []struct {
+			Metric string `json:"metric"`
+			Pass   bool   `json:"pass"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal(render(t, "json", res), &doc); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if doc.Pack != "tiny" || !doc.Passed || len(doc.Runs) != 1 || doc.Runs[0].Variant != "default" {
+		t.Fatalf("JSON header diverges: %+v", doc)
+	}
+	if len(doc.Runs[0].Summary) != len(run.Summary) {
+		t.Fatalf("JSON summary holds %d metrics, run has %d", len(doc.Runs[0].Summary), len(run.Summary))
+	}
+	for k, v := range run.Summary {
+		if doc.Runs[0].Summary[k] != v {
+			t.Errorf("JSON summary %s = %g, run has %g", k, doc.Runs[0].Summary[k], v)
+		}
+	}
+	if len(doc.Checks) != 1 || !doc.Checks[0].Pass || doc.Checks[0].Metric != "final_entries" {
+		t.Errorf("JSON checks diverge: %+v", doc.Checks)
+	}
+
+	// CSV: every summary metric appears as a pack,variant,metric,value row.
+	csv := string(render(t, "csv", res))
+	for k, v := range run.Summary {
+		row := fmt.Sprintf("tiny,default,%s,%g\n", k, v)
+		if !strings.Contains(csv, row) {
+			t.Errorf("CSV report lacks row %q", strings.TrimSpace(row))
+		}
+	}
+	if !strings.Contains(csv, "check:final_entries > 0,pass") {
+		t.Errorf("CSV report lacks the check row:\n%s", csv)
+	}
+
+	// Human: pack header, each metric name, and the verdict.
+	human := string(render(t, "human", res))
+	if !strings.Contains(human, "pack tiny") || !strings.Contains(human, "result: PASS") {
+		t.Errorf("human report lacks header or verdict:\n%s", human)
+	}
+	for k := range run.Summary {
+		if !strings.Contains(human, k) {
+			t.Errorf("human report lacks metric %s", k)
+		}
+	}
+}
+
+func TestNewReporterRejectsUnknownFormat(t *testing.T) {
+	if _, err := scenario.NewReporter("xml"); err == nil {
+		t.Fatal("NewReporter(\"xml\") succeeded, want error")
+	}
+	for _, format := range []string{"", "human", "json", "csv"} {
+		if _, err := scenario.NewReporter(format); err != nil {
+			t.Errorf("NewReporter(%q): %v", format, err)
+		}
+	}
+}
