@@ -21,6 +21,7 @@ import (
 	"policyinject/internal/dataplane"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
+	"policyinject/internal/guard"
 	"policyinject/internal/pkt"
 	"policyinject/internal/revalidator"
 	"policyinject/internal/traffic"
@@ -376,6 +377,77 @@ func BenchmarkRevalidator(b *testing.B) {
 				rev.Tick(now)
 			}
 			b.ReportMetric(float64(rev.Stats().TotalIdleEvicted)/float64(b.N), "evictions/round")
+		})
+	}
+}
+
+// BenchmarkGuardOverhead — the price of the overload-control guard
+// layer on a healthy datapath. Both arms run identical workloads; the
+// guarded arm wires the admission queue and the mask ledger with
+// quotas far above what the workload uses, so nothing ever trips,
+// drops or rejects — the delta is pure bookkeeping. "hit" is the
+// steady-state warm-megaflow path (the guards hook only the slow path,
+// so the delta must vanish); "upcall" cycles keys past the
+// idle-eviction horizon so every ProcessKey is a slow-path miss — one
+// admission check per upcall plus ledger accounting per mask mint.
+func BenchmarkGuardOverhead(b *testing.B) {
+	keys := make([]flow.Key, 256)
+	for i := range keys {
+		keys[i].Set(flow.FieldInPort, 1)
+		keys[i].Set(flow.FieldEthType, flow.EthTypeIPv4)
+		keys[i].Set(flow.FieldIPSrc, 0x0a0a0000|uint64(i))
+	}
+	arms := []struct {
+		name string
+		opts func() []dataplane.Option
+	}{
+		{"bare", func() []dataplane.Option { return []dataplane.Option{noEMC} }},
+		{"guarded", func() []dataplane.Option {
+			grd := guard.New(guard.Config{
+				Admission: &guard.AdmissionConfig{QueueDepth: 1 << 16, PortQuota: 1 << 16},
+				MaskQuota: &guard.MaskQuotaConfig{PerTenant: 1 << 20},
+			})
+			grd.Masks.BindPort(1, "victim")
+			grd.Masks.BindPort(66, "mallory")
+			return []dataplane.Option{noEMC,
+				dataplane.WithUpcallGuard(grd.Admission),
+				dataplane.WithMaskGuard(grd.Masks)}
+		}},
+	}
+	for _, arm := range arms {
+		b.Run("hit/"+arm.name, func(b *testing.B) {
+			sw := attackSwitch(b, attack.TwoField(), false, arm.opts()...)
+			sw.ProcessKey(1, keys[0]) // warm the megaflow
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.ProcessKey(1, keys[0])
+			}
+		})
+		b.Run("upcall/"+arm.name, func(b *testing.B) {
+			// The covert ladder keys each mint their own megaflow (the
+			// victim keys all share the /24 entry, which never idles
+			// out). Cycled one per tick against an idle horizon of half
+			// the cycle, every key is swept before it comes around
+			// again, so each iteration re-upcalls and reinstalls.
+			atk := attack.TwoField()
+			covert, err := atk.Keys()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range covert {
+				covert[i].Set(flow.FieldInPort, 66)
+			}
+			opts := append(arm.opts(), dataplane.WithMaxIdle(uint64(len(covert)/2)))
+			sw := attackSwitch(b, atk, false, opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now := uint64(i) + 1
+				sw.ProcessKey(now, covert[i%len(covert)])
+				if i%32 == 31 {
+					sw.RunRevalidator(now)
+				}
+			}
+			b.ReportMetric(float64(sw.Counters().Upcalls)/float64(b.N), "upcalls/op")
 		})
 	}
 }

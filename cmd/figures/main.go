@@ -6,12 +6,13 @@
 //	figures -fig sweep       §1-§2 degradation claims: cost vs mask count
 //	figures -fig 3           paper Fig. 3: victim throughput + megaflows over time
 //	figures -fig flowlimit   revalidator flow-limit collapse under the 8192-mask attack
+//	figures -fig guard       overload guards: kill-switch, admission breaker, mask quota
 //	figures -fig mitigation  demo discussion: mitigation comparison
 //	figures -fig all         everything above
 //
 // Output is plain text tables plus optional CSV/gnuplot blocks (-csv).
 //
-// The timeline and matrix figures (3, flowlimit, mitigation) execute the
+// The timeline and matrix figures (3, flowlimit, guard, mitigation) execute the
 // corresponding embedded scenario packs (see scenarios/ and cmd/scenario);
 // the remaining figures drive the dataplane directly.
 package main
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2b, masks, sweep, 3, flowlimit, mitigation, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2b, masks, sweep, 3, flowlimit, guard, mitigation, all")
 	csv := flag.Bool("csv", false, "also print CSV/gnuplot data blocks")
 	duration := flag.Int("duration", 150, "fig 3: timeline length in seconds")
 	attackStart := flag.Int("attack-start", 60, "fig 3: covert stream start second")
@@ -58,6 +59,7 @@ func main() {
 	run("sweep", figSweep)
 	run("3", func(csv bool) error { return fig3(csv, *duration, *attackStart, *quick) })
 	run("flowlimit", func(csv bool) error { return figFlowLimit(csv, *quick) })
+	run("guard", figGuard)
 	run("mitigation", figMitigation)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
@@ -314,6 +316,66 @@ func figFlowLimit(csv bool, quick bool) error {
 	if csv {
 		fmt.Println(adaptive.Timeline.CSV())
 		fmt.Println(metrics.CSV(renamed(fixed, "flow_limit", "_fixed")))
+	}
+	return nil
+}
+
+// figGuard runs the guard-killswitch pack: each overload guard alone
+// against the 8192-mask attack, with the attack window closing at tick
+// 80 so every variant also shows its recovery story. The table tracks
+// the mask count per variant plus the kill-switch engagement gauge.
+func figGuard(csv bool) error {
+	header("Overload guards — kill-switch, admission breaker, mask quota vs the 8192-mask attack")
+	pack, err := loadPack("guard-killswitch.yaml")
+	if err != nil {
+		return err
+	}
+	res, err := scenario.Run(pack, scenario.RunOptions{})
+	if err != nil {
+		return err
+	}
+	unguarded, err := runByName(res, "unguarded")
+	if err != nil {
+		return err
+	}
+	kill, err := runByName(res, "killswitch")
+	if err != nil {
+		return err
+	}
+	breaker, err := runByName(res, "breaker")
+	if err != nil {
+		return err
+	}
+	quota, err := runByName(res, "quota")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("unguarded:  peak %d masks, flow limit ground to %d\n",
+		int(unguarded.Summary["peak_masks"]), int(unguarded.Summary["flow_limit_final"]))
+	fmt.Printf("killswitch: %d trip(s), recovered in %d revalidator ticks, %d entries resident at end\n",
+		int(kill.Summary["killswitch_trips"]), int(kill.Summary["killswitch_recovery_ticks"]),
+		int(kill.Summary["final_entries"]))
+	fmt.Printf("breaker:    %d trip(s), %d upcalls shed, peak %d masks, flow limit held at %d\n",
+		int(breaker.Summary["breaker_trips"]), int(breaker.Summary["upcalls_dropped"]),
+		int(breaker.Summary["peak_masks"]), int(breaker.Summary["flow_limit_final"]))
+	fmt.Printf("quota:      %d mask mints rejected, attacker capped at peak %d masks\n",
+		int(quota.Summary["quota_rejects"]), int(quota.Summary["peak_masks"]))
+	base := unguarded.Timeline.Series("mf_masks")
+	out := &metrics.Table{Header: []string{
+		"t", "masks", "masks(kill)", "engaged", "masks(breaker)", "masks(quota)"}}
+	for i := 0; i < base.Len(); i += 5 {
+		out.AddRow(base.T[i], base.V[i],
+			kill.Timeline.Series("mf_masks").V[i],
+			kill.Timeline.Series("killswitch_engaged").V[i],
+			breaker.Timeline.Series("mf_masks").V[i],
+			quota.Timeline.Series("mf_masks").V[i])
+	}
+	fmt.Print(out.String())
+	fmt.Println("attack window closes at t=80; the kill-switch variant's mass-expiry and regrow is the recovery metric")
+	if csv {
+		fmt.Println(metrics.CSV(base, renamed(kill, "mf_masks", "_kill"),
+			renamed(kill, "killswitch_engaged", "_kill"),
+			renamed(breaker, "mf_masks", "_breaker"), renamed(quota, "mf_masks", "_quota")))
 	}
 	return nil
 }

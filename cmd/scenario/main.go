@@ -223,16 +223,8 @@ func cmdRun(args []string) error {
 			failed++
 		}
 		if *outDir != "" {
-			path := filepath.Join(*outDir, l.pack.Name+"."+reportExt(*format))
-			f, err := os.Create(path)
+			path, err := writeReport(rep, *outDir, l.pack.Name, *format, res)
 			if err != nil {
-				return err
-			}
-			if err := rep.Report(f, res); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
 				return err
 			}
 			status := "pass"
@@ -249,6 +241,29 @@ func cmdRun(args []string) error {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// writeReport renders one pack report under dir, creating any
+// subdirectories a path-structured pack name asks for (a pack named
+// "attacks/three-field" lands at dir/attacks/three-field.json), and
+// returns the written path.
+func writeReport(rep scenario.Reporter, dir, name, format string, res *scenario.Result) (string, error) {
+	path := filepath.Join(dir, name+"."+reportExt(format))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("write report %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("write report %s: %w", path, err)
+	}
+	if err := rep.Report(f, res); err != nil {
+		f.Close()
+		return "", fmt.Errorf("write report %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("write report %s: %w", path, err)
+	}
+	return path, nil
 }
 
 func reportExt(format string) string {

@@ -96,6 +96,7 @@ type mfSubtable struct {
 type Megaflow struct {
 	cfg       MegaflowConfig
 	limit     int
+	hooks     MaskHooks
 	subtables []*mfSubtable // scan order
 	byMask    map[flow.Mask]*mfSubtable
 	nEntries  int
@@ -324,12 +325,24 @@ func (m *Megaflow) Insert(match flow.Match, v Verdict, now uint64) (*Entry, erro
 			}
 			m.evictColdestSubtable()
 		}
+		// Mask admission (per-tenant quotas) gates last, after the
+		// structural limits, and rejects without minting for the same
+		// reason the flow limit does: a refused tenant must not inflate
+		// the scan order.
+		if m.hooks.Admit != nil {
+			if err := m.hooks.Admit(match); err != nil {
+				return nil, err
+			}
+		}
 		st = &mfSubtable{mask: match.Mask, entries: make(map[flow.Key]*Entry), lastHit: now}
 		if m.cfg.StagedPruning {
 			st.staged = newStagedState(match.Mask)
 		}
 		m.byMask[match.Mask] = st
 		m.subtables = append(m.subtables, st)
+		if m.hooks.Minted != nil {
+			m.hooks.Minted(match)
+		}
 	}
 	if old, ok := st.entries[match.Key]; ok {
 		old.Verdict = v
@@ -397,6 +410,9 @@ func (m *Megaflow) evictColdestSubtable() {
 }
 
 func (m *Megaflow) dropSubtable(st *mfSubtable) {
+	if m.hooks.Dropped != nil {
+		m.hooks.Dropped(st.mask)
+	}
 	delete(m.byMask, st.mask)
 	for i, have := range m.subtables {
 		if have == st {
@@ -405,6 +421,23 @@ func (m *Megaflow) dropSubtable(st *mfSubtable) {
 		}
 	}
 }
+
+// MaskHooks observe (and may veto) the lifecycle of masks — one hook
+// call per subtable, every path funneled: Admit runs before a new
+// subtable is minted and a non-nil error rejects the insert without
+// minting; Minted runs right after a subtable is created; Dropped runs
+// whenever one dies (mask-cap eviction, flow-limit trim, idle expiry,
+// revalidation, or a wholesale Flush). This is the attachment point for
+// per-tenant mask quota attribution (internal/guard's MaskLedger).
+type MaskHooks struct {
+	Admit   func(flow.Match) error
+	Minted  func(flow.Match)
+	Dropped func(flow.Mask)
+}
+
+// SetMaskHooks installs the mask lifecycle hooks. Hooks are fields on
+// the cache rather than MegaflowConfig so the config stays comparable.
+func (m *Megaflow) SetMaskHooks(h MaskHooks) { m.hooks = h }
 
 // FlowLimit returns the current entry limit (non-positive: unlimited).
 func (m *Megaflow) FlowLimit() int { return m.limit }
@@ -530,6 +563,9 @@ func (m *Megaflow) Flush() {
 	for _, st := range m.subtables {
 		for _, ent := range st.entries {
 			ent.dead = true
+		}
+		if m.hooks.Dropped != nil {
+			m.hooks.Dropped(st.mask)
 		}
 	}
 	m.subtables = nil

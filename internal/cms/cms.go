@@ -85,7 +85,8 @@ type Cluster struct {
 	// node gets its own tier instances, assembled fresh from the options).
 	SwitchOpts []dataplane.Option
 
-	rev *revalidator.Revalidator // cluster-wide maintenance actor, if attached
+	rev    *revalidator.Revalidator // cluster-wide maintenance actor, if attached
+	binder PortBinder               // port->tenant attribution sink, if attached
 
 	nextIP uint32 // pod IP allocator within 172.16.0.0/12
 }
@@ -134,6 +135,29 @@ func (c *Cluster) AttachRevalidator(rev *revalidator.Revalidator) {
 // Revalidator returns the attached maintenance actor, or nil.
 func (c *Cluster) Revalidator() *revalidator.Revalidator { return c.rev }
 
+// PortBinder learns which tenant owns which virtual port — the CMS is
+// the only layer that knows, and the guard's mask ledger needs it to
+// attribute minted megaflow masks (guard.MaskLedger implements this).
+type PortBinder interface {
+	BindPort(port uint32, tenant string)
+}
+
+// AttachPortLedger registers a port->tenant attribution sink: ports of
+// already-deployed pods are bound immediately, future DeployPod calls
+// bind as they allocate.
+func (c *Cluster) AttachPortLedger(b PortBinder) {
+	c.binder = b
+	names := make([]string, 0, len(c.pods))
+	for name := range c.pods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := c.pods[name]
+		b.BindPort(p.Port, p.Tenant)
+	}
+}
+
 // Node returns a node by name, or nil.
 func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
 
@@ -159,6 +183,9 @@ func (c *Cluster) DeployPod(tenant, name, nodeName string) (*Pod, error) {
 		Port:   n.nextPort,
 	}
 	n.Switch.AddPort(p.Port, name)
+	if c.binder != nil {
+		c.binder.BindPort(p.Port, tenant)
+	}
 	c.pods[name] = p
 	// Open by default: allow any ingress at this port until a policy
 	// selects the pod.

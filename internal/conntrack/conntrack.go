@@ -109,6 +109,10 @@ func New(cfg Config) *Table {
 // Len returns the number of tracked connections.
 func (t *Table) Len() int { return len(t.conns) }
 
+// Cap returns the table's connection capacity (Config.MaxConns after
+// defaulting) — the target the table-full fault injector fills to.
+func (t *Table) Cap() int { return t.cfg.MaxConns }
+
 // canonical orders a tuple so both directions map to one key.
 func canonical(ft flow.FiveTuple) (flow.FiveTuple, bool) {
 	r := reverse(ft)

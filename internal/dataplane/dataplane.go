@@ -66,6 +66,26 @@ type config struct {
 	tiersSet   bool
 	noCoalesce bool
 	staged     bool
+	upGuard    UpcallGuard
+	maskGuard  MaskGuard
+	tierWrap   func(Tier) Tier
+}
+
+// UpcallGuard is the upcall admission hook: consulted once per slow-path
+// miss with the logical clock and the ingress port, a false return drops
+// the packet at the datapath — no classification, no install
+// (guard.Admission implements it).
+type UpcallGuard interface {
+	AdmitUpcall(now uint64, inPort uint32) bool
+}
+
+// MaskGuard observes and vetoes megaflow mask minting — the
+// cache.MaskHooks trio as one interface, so per-tenant mask quota
+// ledgers (guard.MaskLedger) attach through one option.
+type MaskGuard interface {
+	AdmitMask(flow.Match) error
+	MaskMinted(flow.Match)
+	MaskDropped(flow.Mask)
 }
 
 // Option configures a Switch under construction.
@@ -106,6 +126,20 @@ func WithMaxIdle(units uint64) Option { return func(c *config) { c.maxIdle = uni
 // WithConntrack attaches a connection tracker so stateful ACLs
 // (Recirc/Commit actions) work. Stateless rule sets are unaffected.
 func WithConntrack(cfg conntrack.Config) Option { return func(c *config) { c.conntrack = &cfg } }
+
+// WithUpcallGuard gates every slow-path upcall behind an admission
+// check. Refused upcalls count in Counters.UpcallDrops and resolve to
+// Deny without visiting the classifier.
+func WithUpcallGuard(g UpcallGuard) Option { return func(c *config) { c.upGuard = g } }
+
+// WithMaskGuard wires a mask-lifecycle guard (per-tenant quotas with
+// attribution) into the hierarchy's megaflow cache.
+func WithMaskGuard(g MaskGuard) Option { return func(c *config) { c.maskGuard = g } }
+
+// WithTierWrapper interposes wrap on every tier of the assembled
+// hierarchy before capability discovery — the fault-injection seam
+// (internal/chaos wraps the megaflow tier through it).
+func WithTierWrapper(wrap func(Tier) Tier) Option { return func(c *config) { c.tierWrap = wrap } }
 
 // WithoutRunCoalescing disables same-flow run coalescing in ProcessBatch:
 // consecutive identical keys are then classified one by one. The batched
@@ -148,6 +182,11 @@ type Counters struct {
 	Denied     uint64
 	ParseError uint64
 	InstallErr uint64 // upcalls whose megaflow could not be installed
+
+	// UpcallDrops counts misses refused by the upcall admission guard:
+	// never classified, resolved to Deny at the datapath. Always zero
+	// without WithUpcallGuard.
+	UpcallDrops uint64
 }
 
 // HitsFor returns the hit count of the named tier (0 when absent).
@@ -197,6 +236,7 @@ type Switch struct {
 	promoteTo  int               // tiers[:promoteTo] receive upcall promotions
 	noCoalesce bool              // disable same-flow run coalescing
 	needHashes bool              // some tier consumes burst flow hashes (HashUser/HashedInstaller)
+	upGuard    UpcallGuard       // optional upcall admission guard
 
 	ct *conntrack.Table
 
@@ -272,6 +312,13 @@ func New(name string, opts ...Option) *Switch {
 		}
 		tiers = append(tiers, NewMegaflowTier(cfg.megaflow))
 	}
+	if cfg.tierWrap != nil {
+		wrapped := make([]Tier, len(tiers))
+		for i, t := range tiers {
+			wrapped[i] = cfg.tierWrap(t)
+		}
+		tiers = wrapped
+	}
 	s := &Switch{
 		name:       name,
 		maxIdle:    cfg.maxIdle,
@@ -280,6 +327,7 @@ func New(name string, opts ...Option) *Switch {
 		tiers:      tiers,
 		tierHits:   make([]uint64, len(tiers)),
 		noCoalesce: cfg.noCoalesce,
+		upGuard:    cfg.upGuard,
 	}
 	for i := len(tiers) - 1; i >= 0; i-- {
 		if inst, ok := tiers[i].(MegaflowInstaller); ok {
@@ -300,6 +348,11 @@ func New(name string, opts ...Option) *Switch {
 	}
 	if cfg.conntrack != nil {
 		s.ct = conntrack.New(*cfg.conntrack)
+	}
+	if g := cfg.maskGuard; g != nil {
+		if mf := s.Megaflow(); mf != nil {
+			mf.SetMaskHooks(cache.MaskHooks{Admit: g.AdmitMask, Minted: g.MaskMinted, Dropped: g.MaskDropped})
+		}
 	}
 	return s
 }
@@ -720,6 +773,12 @@ func (s *Switch) upcall(now uint64, k flow.Key, scanned int) (Decision, bool) {
 // upcallHashed is upcall carrying the key's cached burst hash for the
 // promotion of the freshly installed megaflow.
 func (s *Switch) upcallHashed(now uint64, k flow.Key, h uint64, hasHash bool, scanned int) (Decision, bool) {
+	if s.upGuard != nil && !s.upGuard.AdmitUpcall(now, uint32(k.Get(flow.FieldInPort))) {
+		// Refused at admission: the packet is dropped at the datapath
+		// without a slow-path visit — no classification, no install.
+		s.counters.UpcallDrops++
+		return Decision{Verdict: cache.Verdict{Verdict: flowtable.Deny}, Path: PathSlow, MasksScanned: scanned}, false
+	}
 	s.counters.Upcalls++
 	res := s.cls.Lookup(k)
 	v := cache.Verdict{Verdict: flowtable.Deny}
@@ -805,11 +864,15 @@ func (s *Switch) SMC() *cache.SMC {
 	return nil
 }
 
+// megaflowBacked is any tier backed by a megaflow cache — the concrete
+// MegaflowTier, but equally a fault-injection wrapper forwarding to one.
+type megaflowBacked interface{ Megaflow() *cache.Megaflow }
+
 // Megaflow exposes the megaflow cache for inspection and experiments, or
 // nil when the hierarchy has no megaflow tier.
 func (s *Switch) Megaflow() *cache.Megaflow {
 	for _, t := range s.tiers {
-		if mt, ok := t.(*MegaflowTier); ok {
+		if mt, ok := t.(megaflowBacked); ok {
 			return mt.Megaflow()
 		}
 	}
@@ -825,7 +888,7 @@ func (s *Switch) String() string {
 	fmt.Fprintf(&b, "switch %q: %d rules, %d ports\n", s.name, s.table.Len(), len(s.ports))
 	fmt.Fprintf(&b, "  counters: %+v\n", s.Counters())
 	for _, t := range s.tiers {
-		if mt, ok := t.(*MegaflowTier); ok {
+		if mt, ok := t.(megaflowBacked); ok {
 			fmt.Fprintf(&b, "  %s", mt.Megaflow().String())
 			continue
 		}

@@ -1,0 +1,219 @@
+package guard
+
+// AdmissionConfig tunes the upcall admission queue and its circuit
+// breaker. The zero value admits 256 upcalls per logical tick, at most
+// 64 per port, and trips the breaker after 3 consecutively saturated
+// ticks.
+type AdmissionConfig struct {
+	// QueueDepth bounds the upcalls admitted per logical tick (default
+	// 256 — the handler queue is finite; everything past it is dropped
+	// at the datapath, never classified).
+	QueueDepth int
+	// PortQuota bounds one port's share of the tick's queue (default
+	// QueueDepth/4, floor 1): per-port fair drop, so one storming port
+	// cannot starve the others out of the slow path.
+	PortQuota int
+	// BreakerTripAfter is how many consecutive saturated ticks (ticks
+	// that dropped at least one upcall — the logical-clock proxy for
+	// sustained upcall latency) open the breaker (default 3; negative
+	// disables the breaker).
+	BreakerTripAfter int
+	// BreakerBackoff is the initial open duration in ticks (default 2).
+	// Every failed half-open probe round doubles it, up to
+	// BreakerMaxBackoff (default 32); a clean close resets it.
+	BreakerBackoff    int
+	BreakerMaxBackoff int
+	// HalfOpenProbes is how many upcalls per tick a half-open breaker
+	// admits to test the slow path (default 8).
+	HalfOpenProbes int
+}
+
+func (c *AdmissionConfig) setDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.PortQuota <= 0 {
+		c.PortQuota = c.QueueDepth / 4
+		if c.PortQuota < 1 {
+			c.PortQuota = 1
+		}
+	}
+	if c.BreakerTripAfter == 0 {
+		c.BreakerTripAfter = 3
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = 2
+	}
+	if c.BreakerMaxBackoff <= 0 {
+		c.BreakerMaxBackoff = 32
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 8
+	}
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// AdmissionStats is a snapshot of the admission counters.
+type AdmissionStats struct {
+	Admitted       uint64
+	Dropped        uint64 // all drops (queue + fair + breaker)
+	FairDropped    uint64 // drops charged to a port's fair-share quota
+	BreakerDropped uint64 // drops while the breaker was open/probing
+	BreakerTrips   uint64
+	State          string // "closed", "open" or "half-open"
+}
+
+// Admission is the bounded upcall admission queue: the dataplane asks
+// it (via the UpcallGuard hook) before classifying a missed flow, and a
+// refusal drops the packet at the datapath without a slow-path visit.
+// Per tick it admits at most QueueDepth upcalls, at most PortQuota per
+// ingress port; a run of saturated ticks opens the circuit breaker,
+// which then re-closes through half-open probe rounds with exponential
+// backoff on repeated install storms.
+//
+// Single-goroutine by design (the datapath itself is), clocked by the
+// caller's logical now, and free of map-iteration dependence — guarded
+// runs stay byte-deterministic.
+type Admission struct {
+	cfg AdmissionConfig
+
+	started   bool
+	tick      uint64
+	total     int
+	perPort   map[uint32]int
+	tickDrops uint64 // drops during the current tick (saturation signal)
+
+	state     int
+	satStreak int
+	openUntil uint64
+	backoff   int
+	probes    int
+
+	stats AdmissionStats
+}
+
+// NewAdmission builds an admission queue (zero config: defaults above).
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	cfg.setDefaults()
+	return &Admission{cfg: cfg, perPort: make(map[uint32]int)}
+}
+
+// AdmitUpcall decides whether one upcall from inPort at logical time
+// now enters the slow path.
+func (a *Admission) AdmitUpcall(now uint64, inPort uint32) bool {
+	a.advance(now)
+	switch a.state {
+	case breakerOpen:
+		return a.drop(&a.stats.BreakerDropped)
+	case breakerHalfOpen:
+		if a.probes >= a.cfg.HalfOpenProbes {
+			return a.drop(&a.stats.BreakerDropped)
+		}
+		a.probes++
+	}
+	if a.total >= a.cfg.QueueDepth {
+		return a.drop(nil)
+	}
+	if a.perPort[inPort] >= a.cfg.PortQuota {
+		return a.drop(&a.stats.FairDropped)
+	}
+	a.total++
+	a.perPort[inPort]++
+	a.stats.Admitted++
+	return true
+}
+
+func (a *Admission) drop(class *uint64) bool {
+	a.stats.Dropped++
+	a.tickDrops++
+	if class != nil {
+		*class++
+	}
+	return false
+}
+
+// advance closes out the previous tick's accounting when the clock
+// moved. Ticks with no upcall traffic at all are never finalized: they
+// carry no saturation signal either way.
+func (a *Admission) advance(now uint64) {
+	if a.started && now == a.tick {
+		return
+	}
+	if a.started {
+		a.endTick()
+	}
+	a.started = true
+	a.tick = now
+	a.total = 0
+	clear(a.perPort)
+	a.probes = 0
+	if a.state == breakerOpen && now >= a.openUntil {
+		a.state = breakerHalfOpen
+	}
+}
+
+// endTick feeds the finished tick's saturation signal to the breaker.
+func (a *Admission) endTick() {
+	saturated := a.tickDrops > 0
+	a.tickDrops = 0
+	if a.cfg.BreakerTripAfter < 0 {
+		return
+	}
+	switch a.state {
+	case breakerClosed:
+		if !saturated {
+			a.satStreak = 0
+			return
+		}
+		a.satStreak++
+		if a.satStreak >= a.cfg.BreakerTripAfter {
+			a.trip()
+		}
+	case breakerHalfOpen:
+		if saturated {
+			a.trip() // probes still drowning: back off harder
+		} else if a.probes > 0 {
+			// A clean probe round: the slow path keeps up again.
+			a.state = breakerClosed
+			a.satStreak = 0
+			a.backoff = 0
+		}
+	}
+}
+
+// trip opens the breaker from the current tick, doubling the backoff on
+// every consecutive trip up to the cap.
+func (a *Admission) trip() {
+	if a.backoff == 0 {
+		a.backoff = a.cfg.BreakerBackoff
+	} else {
+		a.backoff *= 2
+		if a.backoff > a.cfg.BreakerMaxBackoff {
+			a.backoff = a.cfg.BreakerMaxBackoff
+		}
+	}
+	a.state = breakerOpen
+	a.openUntil = a.tick + uint64(a.backoff)
+	a.satStreak = 0
+	a.stats.BreakerTrips++
+}
+
+// Stats returns a snapshot of the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	s := a.stats
+	switch a.state {
+	case breakerOpen:
+		s.State = "open"
+	case breakerHalfOpen:
+		s.State = "half-open"
+	default:
+		s.State = "closed"
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+// Package guard is the overload-control layer of the datapath: the
+// backstops real OVS carries in ofproto-dpif-upcall that the paper's
+// attack analysis assumes away. Three independent guards compose:
+//
+//   - KillSwitch: when resident megaflows exceed a multiple of the
+//     adaptive flow limit, collapse the revalidator's max-idle so the
+//     next dump round mass-expires the cache, then restore it once
+//     pressure clears. Recovery time (trip -> sustained-clear) is a
+//     first-class metric.
+//   - Admission: a bounded per-tick upcall admission queue with
+//     per-port fair drop, fronted by a slow-path circuit breaker that
+//     trips on sustained saturation, backs off exponentially, and
+//     re-closes through half-open probes.
+//   - MaskLedger: per-tenant megaflow-mask quotas with attribution —
+//     the ledger learns which tenant minted which mask (via the exact
+//     in_port every CMS-scoped rule carries) and refuses new masks to
+//     tenants over quota, so a mask-minting attacker is isolated while
+//     victims keep installing.
+//
+// Every guard is driven by the caller's logical clock and touches no
+// wall time or global randomness, so guarded runs stay deterministic.
+// The guards implement the narrow hook interfaces of their host layers
+// (revalidator.OverloadController, dataplane.UpcallGuard,
+// dataplane.MaskGuard, cms.PortBinder) structurally; this package
+// imports neither.
+package guard
+
+import "policyinject/internal/metrics"
+
+// Config assembles a Guard: each section is optional and nil disables
+// that guard entirely.
+type Config struct {
+	KillSwitch *KillSwitchConfig
+	Admission  *AdmissionConfig
+	MaskQuota  *MaskQuotaConfig
+}
+
+// Guard bundles the configured overload controls for one datapath.
+type Guard struct {
+	Kill      *KillSwitch // nil when not configured
+	Admission *Admission  // nil when not configured
+	Masks     *MaskLedger // nil when not configured
+}
+
+// New builds the configured guards. A zero Config yields an empty (but
+// usable) Guard with every control disabled.
+func New(cfg Config) *Guard {
+	g := &Guard{}
+	if cfg.KillSwitch != nil {
+		g.Kill = NewKillSwitch(*cfg.KillSwitch)
+	}
+	if cfg.Admission != nil {
+		g.Admission = NewAdmission(*cfg.Admission)
+	}
+	if cfg.MaskQuota != nil {
+		g.Masks = NewMaskLedger(*cfg.MaskQuota)
+	}
+	return g
+}
+
+// Observe records the per-tick gauges of every configured guard into a
+// metrics group at logical time t.
+func (g *Guard) Observe(tl *metrics.Group, t float64) {
+	if g.Kill != nil {
+		engaged := 0.0
+		if g.Kill.Engaged() {
+			engaged = 1
+		}
+		tl.Observe(t, "killswitch_engaged", engaged)
+	}
+	if g.Admission != nil {
+		tl.Observe(t, "upcalls_dropped", float64(g.Admission.Stats().Dropped))
+	}
+	if g.Masks != nil {
+		tl.Observe(t, "quota_rejects", float64(g.Masks.Rejects()))
+	}
+}
+
+// Summary returns the end-of-run summary metrics of every configured
+// guard, keyed the way scenario packs assert on them.
+func (g *Guard) Summary() map[string]float64 {
+	out := map[string]float64{}
+	if g.Kill != nil {
+		out["killswitch_trips"] = float64(g.Kill.Trips())
+		out["killswitch_recoveries"] = float64(g.Kill.Recoveries())
+		out["killswitch_recovery_ticks"] = float64(g.Kill.LastRecoveryTicks())
+	}
+	if g.Admission != nil {
+		st := g.Admission.Stats()
+		out["upcalls_admitted"] = float64(st.Admitted)
+		out["upcalls_dropped"] = float64(st.Dropped)
+		out["fair_drops"] = float64(st.FairDropped)
+		out["breaker_drops"] = float64(st.BreakerDropped)
+		out["breaker_trips"] = float64(st.BreakerTrips)
+	}
+	if g.Masks != nil {
+		out["quota_rejects"] = float64(g.Masks.Rejects())
+		out["masks_minted"] = float64(g.Masks.Minted())
+	}
+	return out
+}

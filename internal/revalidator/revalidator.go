@@ -101,6 +101,18 @@ type Config struct {
 	// caches wholesale on rule changes, so the pass is usually redundant
 	// (but it is the honest cost model for DumpRate).
 	PolicyCheck bool
+	// Overload, when set, is consulted at the start of every round with
+	// the previous round's dumped-flow count and may substitute the idle
+	// deadline the round sweeps with — the ofproto-dpif-upcall
+	// kill-switch hook (guard.KillSwitch implements it).
+	Overload OverloadController
+}
+
+// OverloadController is the per-round overload hook: given the previous
+// round's flow count, the current flow limit and the configured MaxIdle,
+// it returns the idle deadline this round should use.
+type OverloadController interface {
+	RoundMaxIdle(now uint64, flows, limit int, maxIdle uint64) uint64
 }
 
 func (c *Config) setDefaults() {
@@ -292,19 +304,27 @@ func (r *Revalidator) runRound(now uint64) {
 		r.deltas[i] = roundDelta{}
 	}
 
+	// The overload hook sees the previous round's flow count — the most
+	// recent dump the actor has, one round of lag, fully deterministic —
+	// and may collapse this round's idle deadline (the kill-switch).
+	maxIdle := r.cfg.MaxIdle
+	if r.cfg.Overload != nil {
+		maxIdle = r.cfg.Overload.RoundMaxIdle(now, r.stats.Last.Flows, r.limit, maxIdle)
+	}
+
 	if len(r.targets) > 1 && w > 1 {
 		var wg sync.WaitGroup
 		for wi := 0; wi < w && wi < len(r.targets); wi++ {
 			wg.Add(1)
 			go func(wi int) {
 				defer wg.Done()
-				r.sweepShard(now, wi)
+				r.sweepShard(now, wi, maxIdle)
 			}(wi)
 		}
 		wg.Wait()
 	} else {
 		for wi := 0; wi < w && wi < len(r.targets); wi++ {
-			r.sweepShard(now, wi)
+			r.sweepShard(now, wi, maxIdle)
 		}
 	}
 
@@ -325,8 +345,18 @@ func (r *Revalidator) runRound(now uint64) {
 	interval := float64(r.cfg.Interval)
 	overrun := duration > 2*interval
 	if !r.cfg.FixedLimit {
+		prev := r.limit
 		r.limit = AdaptLimit(r.limit, total.flows, duration, interval,
 			r.cfg.MinFlowLimit, r.cfg.FlowLimit, r.cfg.GrowStep)
+		if r.limit != prev {
+			// Publish the adapted limit to the tiers immediately, under
+			// their locks. The sweeps above applied the *previous* limit;
+			// without this push, installs racing in before the next round
+			// are admitted against the stale (higher) value and the cache
+			// momentarily exceeds a freshly cut limit. The next round's
+			// TrimToLimit still owns the eviction side.
+			r.pushLimit()
+		}
 	}
 
 	r.stats.Rounds++
@@ -344,12 +374,32 @@ func (r *Revalidator) runRound(now uint64) {
 	}
 }
 
+// pushLimit publishes the current flow limit to every attached limited
+// tier, taking each target's lock — the between-rounds half of a limit
+// adaptation (TrimToLimit stays with the next round's sweep).
+func (r *Revalidator) pushLimit() {
+	for i := range r.targets {
+		tg := &r.targets[i]
+		if tg.mu != nil {
+			tg.mu.Lock()
+		}
+		for _, tier := range tg.t.Tiers() {
+			if lt, ok := tier.(dataplane.LimitedTier); ok {
+				lt.SetFlowLimit(r.limit)
+			}
+		}
+		if tg.mu != nil {
+			tg.mu.Unlock()
+		}
+	}
+}
+
 // sweepShard sweeps every target assigned to worker wi (round-robin by
 // attach order), accumulating into the worker's delta slot.
-func (r *Revalidator) sweepShard(now uint64, wi int) {
+func (r *Revalidator) sweepShard(now uint64, wi int, maxIdle uint64) {
 	d := &r.deltas[wi]
 	for ti := wi; ti < len(r.targets); ti += r.cfg.Workers {
-		r.sweepTarget(now, &r.targets[ti], d)
+		r.sweepTarget(now, &r.targets[ti], d, maxIdle)
 		d.targets++
 	}
 }
@@ -357,7 +407,7 @@ func (r *Revalidator) sweepShard(now uint64, wi int) {
 // sweepTarget runs one target's share of the dump round: conntrack expiry,
 // the idle sweep, the flow-limit staleness trim, and (when enabled) the
 // policy/hard-timeout consistency pass.
-func (r *Revalidator) sweepTarget(now uint64, tg *target, d *roundDelta) {
+func (r *Revalidator) sweepTarget(now uint64, tg *target, d *roundDelta, maxIdle uint64) {
 	if tg.mu != nil {
 		tg.mu.Lock()
 		defer tg.mu.Unlock()
@@ -375,8 +425,8 @@ func (r *Revalidator) sweepTarget(now uint64, tg *target, d *roundDelta) {
 			// at round start, before any sweep shrinks them.
 			d.flows += lt.Stats().Entries
 		}
-		if now >= r.cfg.MaxIdle {
-			d.idle += tier.EvictIdle(now - r.cfg.MaxIdle)
+		if now >= maxIdle {
+			d.idle += tier.EvictIdle(now - maxIdle)
 		}
 		if limited {
 			lt.SetFlowLimit(r.limit)

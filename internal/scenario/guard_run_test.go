@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"testing"
+
+	"policyinject/scenarios"
+)
+
+// TestGuardKillSwitchVariant runs only the killswitch variant of the
+// guard-killswitch pack (the full pack's unguarded baseline is the slow
+// part) and pins the acceptance story: the 8192-mask attack trips the
+// kill-switch, the collapsed max-idle mass-expires the cache, and once
+// the attack window closes the switch recovers within a bounded number
+// of revalidator rounds.
+func TestGuardKillSwitchVariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timeline run is slow")
+	}
+	p, err := LoadFS(scenarios.FS, "guard-killswitch.yaml")
+	if err != nil {
+		t.Fatalf("load guard-killswitch.yaml: %v", err)
+	}
+	var v *Pack
+	for _, vp := range p.Variants {
+		if vp.Variant == "killswitch" {
+			v = vp
+		}
+	}
+	if v == nil {
+		t.Fatal("pack has no killswitch variant")
+	}
+	run, err := runTimeline(v, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run.Summary
+	if s["killswitch_trips"] < 1 {
+		t.Errorf("killswitch_trips = %g, want >= 1", s["killswitch_trips"])
+	}
+	if s["killswitch_recoveries"] < 1 {
+		t.Errorf("killswitch_recoveries = %g, want >= 1", s["killswitch_recoveries"])
+	}
+	if s["killswitch_recovery_ticks"] > 20 {
+		t.Errorf("killswitch_recovery_ticks = %g, want <= 20", s["killswitch_recovery_ticks"])
+	}
+	if s["upcalls_dropped"] <= 0 {
+		t.Errorf("upcalls_dropped = %g, want > 0", s["upcalls_dropped"])
+	}
+	if s["final_entries"] > 50 {
+		t.Errorf("final_entries = %g after recovery, want <= 50", s["final_entries"])
+	}
+	if s["flow_limit_final"] != 2000 {
+		t.Errorf("flow_limit_final = %g, want 2000 (overload still grinds the adaptive limit)", s["flow_limit_final"])
+	}
+}

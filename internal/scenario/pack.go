@@ -9,8 +9,10 @@ import (
 
 	"policyinject/internal/acl"
 	"policyinject/internal/attack"
+	"policyinject/internal/chaos"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
+	"policyinject/internal/guard"
 )
 
 // Pack is one declarative scenario: the full experiment a run executes.
@@ -34,6 +36,8 @@ type Pack struct {
 	Streams  []StreamSpec
 	Tenants  []TenantSpec
 	Churn    *ChurnSpec
+	Guards   *GuardSpec    // nil: no overload-control guards
+	Faults   []chaos.Fault // scheduled fault injections, if any
 	Matrix   *MatrixSpec
 	Expect   []Expectation
 
@@ -131,6 +135,7 @@ func (e EntrySpec) Entry() acl.Entry {
 // target fields (or a named preset) and the covert stream's schedule.
 type AttackSpec struct {
 	Start    int // tick the ACL lands and the covert stream starts
+	Stop     int // tick the covert stream halts (the ACL stays); 0: runs to the end
 	Preset   string
 	Fields   []attack.TargetField
 	PPS      float64 // covert replay rate; 0 = full cycle per CycleTicks
@@ -214,6 +219,20 @@ type ChurnSpec struct {
 	Stop   int // 0: runs to the end
 	Period int
 	Rotate int // distinct rotated entries (default 8)
+}
+
+// GuardSpec declares the run's overload-control guards: each present
+// section enables that guard with the given tuning (zero fields take
+// the guard package's defaults).
+type GuardSpec struct {
+	KillSwitch *guard.KillSwitchConfig
+	Admission  *guard.AdmissionConfig
+	MaskQuota  *guard.MaskQuotaConfig
+}
+
+// Build assembles the configured guard bundle.
+func (g *GuardSpec) Build() *guard.Guard {
+	return guard.New(guard.Config{KillSwitch: g.KillSwitch, Admission: g.Admission, MaskQuota: g.MaskQuota})
 }
 
 // MatrixSpec (mode "matrix") evaluates the attack against a row of
@@ -525,6 +544,10 @@ func (b *binder) bindPack(root *node) (p *Pack, err error) {
 		p.Tenants = append(p.Tenants, b.bindTenant(tn, fmt.Sprintf("tenants[%d]", i)))
 	}
 	p.Churn = b.bindChurn(m.child("churn"))
+	p.Guards = b.bindGuards(m.child("guards"))
+	for i, fn := range m.seq("faults") {
+		p.Faults = append(p.Faults, b.bindFault(fn, fmt.Sprintf("faults[%d]", i)))
+	}
 	p.Matrix = b.bindMatrix(m.child("matrix"))
 	for i, en := range m.seq("expect") {
 		p.Expect = append(p.Expect, b.bindExpect(en, fmt.Sprintf("expect[%d]", i)))
@@ -551,6 +574,13 @@ func (b *binder) bindPack(root *node) (p *Pack, err error) {
 	}
 	if p.Churn != nil && p.Churn.Period <= 0 {
 		b.failf(m.child("churn"), "churn.period", "must be positive")
+	}
+	if len(p.Faults) > 0 {
+		// chaos.New is the single validator for fault specs; it also
+		// fills the per-fault defaults in place.
+		if _, err := chaos.New(chaos.Config{Faults: p.Faults}); err != nil {
+			b.failf(m.child("faults"), "faults", "%v", err)
+		}
 	}
 	return p, nil
 }
@@ -676,6 +706,7 @@ func (b *binder) bindAttack(n *node) *AttackSpec {
 	m := b.mapAt(n, "attack")
 	spec := &AttackSpec{
 		Start:    m.intval("start", 60),
+		Stop:     m.intval("stop", 0),
 		Preset:   m.str("preset", ""),
 		PPS:      m.floatval("pps", 0),
 		Cycle:    m.floatval("cycle", 2.5),
@@ -687,6 +718,9 @@ func (b *binder) bindAttack(n *node) *AttackSpec {
 	m.done()
 	if spec.Cycle <= 0 {
 		b.failf(n, "attack.cycle", "must be positive")
+	}
+	if spec.Stop != 0 && spec.Stop <= spec.Start {
+		b.failf(n, "attack.stop", "must be after start")
 	}
 	return spec
 }
@@ -824,6 +858,63 @@ func (b *binder) bindChurn(n *node) *ChurnSpec {
 	return spec
 }
 
+func (b *binder) bindGuards(n *node) *GuardSpec {
+	if n == nil {
+		return nil
+	}
+	m := b.mapAt(n, "guards")
+	spec := &GuardSpec{}
+	if kn := m.child("killswitch"); kn != nil {
+		km := b.mapAt(kn, "guards.killswitch")
+		spec.KillSwitch = &guard.KillSwitchConfig{
+			TripFactor:       km.floatval("trip_factor", 0),
+			ClearFactor:      km.floatval("clear_factor", 0),
+			CollapsedMaxIdle: km.uintval("collapsed_max_idle", 0),
+			ClearRounds:      km.intval("clear_rounds", 0),
+		}
+		km.done()
+	}
+	if an := m.child("admission"); an != nil {
+		am := b.mapAt(an, "guards.admission")
+		spec.Admission = &guard.AdmissionConfig{
+			QueueDepth:        am.intval("queue_depth", 0),
+			PortQuota:         am.intval("port_quota", 0),
+			BreakerTripAfter:  am.intval("breaker_trip_after", 0),
+			BreakerBackoff:    am.intval("breaker_backoff", 0),
+			BreakerMaxBackoff: am.intval("breaker_max_backoff", 0),
+			HalfOpenProbes:    am.intval("half_open_probes", 0),
+		}
+		am.done()
+	}
+	if qn := m.child("mask_quota"); qn != nil {
+		qm := b.mapAt(qn, "guards.mask_quota")
+		spec.MaskQuota = &guard.MaskQuotaConfig{PerTenant: qm.intval("per_tenant", 0)}
+		qm.done()
+	}
+	m.done()
+	if spec.KillSwitch == nil && spec.Admission == nil && spec.MaskQuota == nil {
+		b.failf(n, "guards", "at least one of killswitch, admission, mask_quota required")
+	}
+	return spec
+}
+
+func (b *binder) bindFault(n *node, path string) chaos.Fault {
+	m := b.mapAt(n, path)
+	f := chaos.Fault{
+		Kind:   m.str("kind", ""),
+		Start:  m.intval("start", 0),
+		Stop:   m.intval("stop", 0),
+		Prob:   m.floatval("prob", 0),
+		Delay:  m.uintval("delay", 0),
+		Factor: m.floatval("factor", 0),
+	}
+	m.done()
+	if f.Kind == "" {
+		b.failf(n, path+".kind", "required (one of %s)", strings.Join(chaos.Kinds, ", "))
+	}
+	return f
+}
+
 func (b *binder) bindMatrix(n *node) *MatrixSpec {
 	if n == nil {
 		return nil
@@ -898,7 +989,11 @@ func (p *Pack) Describe() string {
 					names = append(names, f.Field.Name())
 				}
 			}
-			fmt.Fprintf(&sb, "  attack: start=%d fields=[%s] masks=%d\n", v.Attack.Start, strings.Join(names, " "), masks)
+			stop := ""
+			if v.Attack.Stop > 0 {
+				stop = fmt.Sprintf(" stop=%d", v.Attack.Stop)
+			}
+			fmt.Fprintf(&sb, "  attack: start=%d%s fields=[%s] masks=%d\n", v.Attack.Start, stop, strings.Join(names, " "), masks)
 		}
 		for _, s := range v.Streams {
 			fmt.Fprintf(&sb, "  stream %s: kind=%s to=%s flows=%d pps=%g start=%d\n",
@@ -909,6 +1004,15 @@ func (p *Pack) Describe() string {
 		}
 		if v.Churn != nil {
 			fmt.Fprintf(&sb, "  churn: period=%d start=%d rotate=%d\n", v.Churn.Period, v.Churn.Start, v.Churn.Rotate)
+		}
+		if v.Guards != nil {
+			g := v.Guards
+			fmt.Fprintf(&sb, "  guards: killswitch=%v admission=%v mask_quota=%v\n",
+				g.KillSwitch != nil, g.Admission != nil, g.MaskQuota != nil)
+		}
+		for _, f := range v.Faults {
+			fmt.Fprintf(&sb, "  fault %s: start=%d stop=%d prob=%g delay=%d factor=%g\n",
+				f.Kind, f.Start, f.Stop, f.Prob, f.Delay, f.Factor)
 		}
 		if v.Matrix != nil {
 			fmt.Fprintf(&sb, "  matrix: samples=%d variants=[%s]\n", v.Matrix.Samples, strings.Join(v.Matrix.Variants, " "))

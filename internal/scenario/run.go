@@ -11,9 +11,11 @@ import (
 
 	"policyinject/internal/acl"
 	"policyinject/internal/cache"
+	"policyinject/internal/chaos"
 	"policyinject/internal/cms"
 	"policyinject/internal/conntrack"
 	"policyinject/internal/dataplane"
+	"policyinject/internal/guard"
 	"policyinject/internal/metrics"
 	"policyinject/internal/mitigation"
 	"policyinject/internal/pkt"
@@ -189,9 +191,11 @@ func datapathOptions(d DatapathSpec) []dataplane.Option {
 }
 
 // buildRevalidator lowers a RevalSpec; nil spec means the stock default.
-func buildRevalidator(r *RevalSpec) *revalidator.Revalidator {
+// The overload controller (the kill-switch, when guards declare one)
+// hooks into every configuration, including the default.
+func buildRevalidator(r *RevalSpec, overload revalidator.OverloadController) *revalidator.Revalidator {
 	if r == nil {
-		return revalidator.New(revalidator.Config{})
+		return revalidator.New(revalidator.Config{Overload: overload})
 	}
 	if r.Disabled {
 		return nil
@@ -207,6 +211,7 @@ func buildRevalidator(r *RevalSpec) *revalidator.Revalidator {
 		MaxIdle:      r.MaxIdle,
 		MaxHard:      r.MaxHard,
 		PolicyCheck:  r.PolicyCheck,
+		Overload:     overload,
 	})
 }
 
@@ -321,23 +326,55 @@ func runTimeline(p *Pack, opt RunOptions) (*VariantRun, error) {
 	if opt.CostSamples > 0 {
 		samples = opt.CostSamples
 	}
-	attackStart := 0
+	attackStart, attackStop := 0, 0
 	if p.Attack != nil {
 		attackStart = p.Attack.Start
 		if opt.AttackStart > 0 {
 			attackStart = opt.AttackStart
 		}
+		attackStop = p.Attack.Stop
 	}
 
 	if statefulPolicies(p) && !p.Datapath.Conntrack {
 		return nil, fmt.Errorf("stateful policy requires datapath.conntrack: true")
 	}
 
+	// Overload guards and fault injectors, built before the cluster so
+	// their hooks ride into every switch the nodes assemble.
+	var grd *guard.Guard
+	if p.Guards != nil {
+		grd = p.Guards.Build()
+	}
+	var inj *chaos.Injector
+	if len(p.Faults) > 0 {
+		var err error
+		inj, err = chaos.New(chaos.Config{Seed: seed, Faults: p.Faults})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	cluster := cms.NewCluster()
 	cluster.SwitchOpts = datapathOptions(p.Datapath)
-	rev := buildRevalidator(p.Reval)
+	if grd != nil && grd.Admission != nil {
+		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithUpcallGuard(grd.Admission))
+	}
+	if grd != nil && grd.Masks != nil {
+		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithMaskGuard(grd.Masks))
+	}
+	if inj != nil {
+		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithTierWrapper(inj.WrapTier))
+	}
+	var overload revalidator.OverloadController
+	if grd != nil && grd.Kill != nil {
+		overload = grd.Kill
+	}
+	rev := buildRevalidator(p.Reval, overload)
 	if rev != nil {
 		cluster.AttachRevalidator(rev)
+	}
+	if grd != nil && grd.Masks != nil {
+		cluster.AttachPortLedger(grd.Masks)
 	}
 	if _, err := cluster.AddNode("server-1"); err != nil {
 		return nil, err
@@ -531,8 +568,16 @@ func runTimeline(p *Pack, opt RunOptions) (*VariantRun, error) {
 			injected = true
 		}
 
-		// 2. Covert stream for this tick, as one wire burst.
-		if injected {
+		// Active faults fire before the tick's traffic, so a filled
+		// conntrack table is what the tick's commits bounce off.
+		if inj != nil {
+			inj.FillConntrack(now, ct)
+		}
+
+		// 2. Covert stream for this tick, as one wire burst. An attack
+		// window with a stop halts the replay there (the malicious ACL
+		// stays installed — only the covert pressure ends).
+		if injected && (attackStop == 0 || t < attackStop) {
 			covertBurst.Reset()
 			for i := pacer.Take(1); i > 0; i-- {
 				covertBurst.Append(replay.NextFrame())
@@ -566,13 +611,20 @@ func runTimeline(p *Pack, opt RunOptions) (*VariantRun, error) {
 			out = sw.ProcessFrames(now, &victimBurst, out)
 		}
 
-		// 5. Maintenance round, then record the tick's gauges.
-		if rev != nil {
+		// 5. Maintenance round (unless a stall fault suppresses it), then
+		// record the tick's gauges.
+		if rev != nil && (inj == nil || !inj.StallRevalidator(now)) {
 			rev.Tick(now)
 		}
 		ts := float64(t)
 		if rev != nil {
 			rev.Observe(tl, ts)
+		}
+		if grd != nil {
+			grd.Observe(tl, ts)
+		}
+		if inj != nil {
+			inj.Observe(tl, ts)
 		}
 		tl.Observe(ts, "mf_entries", float64(sw.Megaflow().Len()))
 		tl.Observe(ts, "mf_masks", float64(sw.Megaflow().NumMasks()))
@@ -618,6 +670,21 @@ func runTimeline(p *Pack, opt RunOptions) (*VariantRun, error) {
 	if ct != nil {
 		run.Summary["ct_peak"] = float64(ctPeak)
 		run.Summary["ct_final"] = float64(ct.Len())
+	}
+	if attackStop > 0 {
+		// The mask population the moment the covert pressure ended — the
+		// baseline recovery is measured against.
+		run.Summary["masks_attack_end"] = masks.At(float64(attackStop - 1))
+	}
+	if grd != nil {
+		for k, v := range grd.Summary() {
+			run.Summary[k] = v
+		}
+	}
+	if inj != nil {
+		for k, v := range inj.Summary() {
+			run.Summary[k] = v
+		}
 	}
 	return run, nil
 }

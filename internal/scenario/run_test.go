@@ -63,6 +63,26 @@ func TestSeededDeterminism(t *testing.T) {
 	}
 }
 
+// TestChaosPackDeterminism: the fault-injection gauntlet replayed at
+// the same seed renders byte-identical JSON reports — every fault draw
+// comes from the pack's seeded stream, never from wall clock or map
+// iteration order.
+func TestChaosPackDeterminism(t *testing.T) {
+	p := loadEmbedded(t, "chaos-recovery.yaml")
+	r1, err := scenario.Run(p, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := scenario.Run(p, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, j2 := render(t, "json", r1), render(t, "json", r2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("same pack + seed produced different JSON reports:\n%s\n----\n%s", j1, j2)
+	}
+}
+
 // sameSeries asserts two recorded series are identical, tick for tick.
 func sameSeries(t *testing.T, label string, got, want *metrics.Series) {
 	t.Helper()
