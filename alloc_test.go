@@ -1,0 +1,54 @@
+// The zero-allocation contract of the frame hot path, asserted at
+// runtime. The static side of the same contract is the hotpathalloc
+// analyzer (internal/analysis); this test is the dynamic witness that
+// the //lint:hotpath call graph really holds 0 allocs/op once the
+// reusable scratch is warm.
+package policyinject_test
+
+import (
+	"testing"
+
+	"policyinject/internal/attack"
+	"policyinject/internal/dataplane"
+)
+
+// TestFramePathZeroAlloc replays a warm burst through ProcessFrames and
+// requires zero heap allocations per call, on both the benchmark
+// workloads: the EMC-hit victim mix and the 8192-mask staged megaflow
+// sweep.
+func TestFramePathZeroAlloc(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *dataplane.Switch
+		burst int
+	}{
+		{
+			name:  "victim-emc",
+			build: func() *dataplane.Switch { return attackSwitch(t, attack.TwoField(), false) },
+			burst: 256,
+		},
+		{
+			name:  "attack8192-megaflow",
+			build: func() *dataplane.Switch { return attackSwitch(t, attack.ThreeField(), true, noEMC) },
+			burst: 32,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw := tc.build()
+			gen := victimGen()
+			var fb dataplane.FrameBatch
+			for i := 0; i < tc.burst; i++ {
+				f, _ := gen.NextFrame()
+				fb.Append(f, 1)
+			}
+			out := sw.ProcessFrames(1, &fb, nil) // warm caches and scratch
+			avg := testing.AllocsPerRun(100, func() {
+				out = sw.ProcessFrames(2, &fb, out)
+			})
+			if avg != 0 {
+				t.Errorf("ProcessFrames allocates %.1f times per warm burst; the hot path must hold 0", avg)
+			}
+		})
+	}
+}

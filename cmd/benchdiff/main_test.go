@@ -128,6 +128,57 @@ BenchmarkB/sub
 	}
 }
 
+// TestParseBenchFileEmpty: an empty run file parses cleanly to zero
+// benchmarks — the gate then fails on the MISSING pins, not on a parse
+// error, so the operator sees which benchmarks vanished.
+func TestParseBenchFileEmpty(t *testing.T) {
+	run, err := parseBenchFile(writeFile(t, "empty.json", ""))
+	if err != nil {
+		t.Fatalf("empty file: %v", err)
+	}
+	if len(run.ns) != 0 || run.cpu != "" {
+		t.Fatalf("empty file parsed to %v / cpu %q", run.ns, run.cpu)
+	}
+}
+
+// TestParseBenchFileTruncatedJSON pins the exact error a truncated
+// `go test -json` stream produces: the cut-off event line must surface
+// as a parse failure naming the file, never be silently skipped as if
+// the benchmarks it carried had not run.
+func TestParseBenchFileTruncatedJSON(t *testing.T) {
+	path := writeFile(t, "truncated.json", `{"Action":"output","Package":"p","Output":"BenchmarkA-8 100 200.0 ns/op\n"}
+{"Action":"output","Package":"p","Outp`)
+	_, err := parseBenchFile(path)
+	if err == nil {
+		t.Fatal("truncated -json stream parsed without error")
+	}
+	want := path + ": bad -json line: unexpected end of JSON input"
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestParseBenchFileDuplicateNames: repeated result lines for one
+// benchmark (multiple -count runs, or -json and plain text mixed) keep
+// the minimum ns/op, and the -<procs> suffix does not split them into
+// distinct names.
+func TestParseBenchFileDuplicateNames(t *testing.T) {
+	run, err := parseBenchFile(writeFile(t, "dup.txt", `
+BenchmarkA-4 100 250 ns/op
+BenchmarkA-8 100 210 ns/op
+BenchmarkA-4 100 240 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.ns) != 1 {
+		t.Fatalf("duplicates split into %v", run.ns)
+	}
+	if run.ns["BenchmarkA"] != 210 {
+		t.Fatalf("BenchmarkA = %v, want the minimum 210", run.ns["BenchmarkA"])
+	}
+}
+
 func TestParseBenchFileCPUHeader(t *testing.T) {
 	run, err := parseBenchFile(writeFile(t, "run.txt", `
 goos: linux

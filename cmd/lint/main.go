@@ -1,0 +1,95 @@
+// Command lint runs the project's static-analysis suite (internal/analysis)
+// over the module and exits non-zero on findings.
+//
+// Usage:
+//
+//	lint [-json] [-list] [patterns...]
+//
+// Patterns are Go package patterns relative to the module root ("./...",
+// "./internal/cache"); the default is "./...". With -json, findings are
+// emitted as a JSON array instead of compiler-style text. Exit status: 0
+// for a clean tree, 1 when any finding survives //lint:allow suppression,
+// 2 on load or usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"policyinject/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the stable -json shape, one object per finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, az := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", az.Name, az.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "lint: %v\n", err)
+		return 2
+	}
+	prog, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "lint: %v\n", err)
+		return 2
+	}
+	diags := prog.Run(analysis.Analyzers()...)
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "lint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

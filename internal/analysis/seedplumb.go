@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedPlumb enforces seed plumbing: a struct field that names itself a
+// seed or generator (Seed, seed, rng, Rng, RNG, Rand, rand) must be
+// filled from configuration or a parameter, never derived from the wall
+// clock or the global math/rand source at the assignment site. A
+// time.Now().UnixNano() seed makes every "reproducible" run
+// unreproducible — the exact bug class the simulator's per-seed
+// byte-identical contract forbids.
+var SeedPlumb = &Analyzer{
+	Name: "seedplumb",
+	Doc:  "forbid wall-clock or global-rand initialization of seed/rng fields",
+	Run:  runSeedPlumb,
+}
+
+// seedFieldNames are the field names the analyzer treats as seed state.
+var seedFieldNames = map[string]bool{
+	"Seed": true, "seed": true,
+	"Rng": true, "rng": true, "RNG": true,
+	"Rand": true, "rand": true,
+}
+
+func runSeedPlumb(pass *Pass) {
+	for _, pkg := range pass.Prog.TargetPackages() {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i >= len(n.Rhs) {
+							break // x, y = f() — can't attribute a single RHS
+						}
+						name, ok := seedFieldTarget(pkg.Info, lhs)
+						if !ok {
+							continue
+						}
+						reportImpureSeed(pass, pkg, name, n.Rhs[i])
+					}
+				case *ast.CompositeLit:
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok || !seedFieldNames[key.Name] {
+							continue
+						}
+						if !isStructLit(pkg.Info, n) {
+							continue
+						}
+						reportImpureSeed(pass, pkg, key.Name, kv.Value)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// seedFieldTarget reports whether an assignment LHS is a seed-named
+// struct field selector.
+func seedFieldTarget(info *types.Info, lhs ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || !seedFieldNames[sel.Sel.Name] {
+		return "", false
+	}
+	selInfo := info.Selections[sel]
+	if selInfo == nil {
+		return "", false
+	}
+	v, ok := selInfo.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isStructLit reports whether a composite literal builds a struct value.
+func isStructLit(info *types.Info, lit *ast.CompositeLit) bool {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Struct)
+	return ok
+}
+
+// reportImpureSeed flags the RHS if its subtree reaches the wall clock or
+// the global math/rand source.
+func reportImpureSeed(pass *Pass, pkg *Package, field string, rhs ast.Expr) {
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(rhs.Pos(), "seed field %s derived from wall clock (time.%s); thread it from config or a parameter", field, fn.Name())
+				return false
+			}
+		case "math/rand", "math/rand/v2":
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // drawing from an explicitly seeded *Rand is fine
+			}
+			if !seededRandFuncs[fn.Name()] {
+				pass.Reportf(rhs.Pos(), "seed field %s derived from global math/rand (rand.%s); thread it from config or a parameter", field, fn.Name())
+				return false
+			}
+		}
+		return true
+	})
+}

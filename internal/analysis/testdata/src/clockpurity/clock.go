@@ -1,0 +1,19 @@
+// Package det is a seeded-bad fixture for the clockpurity analyzer: a
+// deterministic package that reads the wall clock and the global rand
+// source.
+//
+//lint:deterministic
+package det
+
+import (
+	"time"
+)
+
+// Tick leaks wall time into a deterministic package twice.
+func Tick() time.Duration {
+	start := time.Now()      // want: time.Now
+	return time.Since(start) // want: time.Since
+}
+
+// Hold is fine: durations are values, not clock reads.
+func Hold(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,14 @@
+package det
+
+import "math/rand"
+
+// Draw mixes a global-source draw (flagged) with an explicitly seeded
+// generator (clean) and a suppressed call.
+func Draw(seed int64) int64 {
+	n := rand.Int63() // want: global randomness
+	r := rand.New(rand.NewSource(seed))
+	n += r.Int63() // seeded *Rand method: clean
+	//lint:allow clockpurity fixture demonstrates a justified suppression
+	n += rand.Int63()
+	return n
+}

@@ -1,0 +1,30 @@
+// Package counters is a seeded-bad fixture for the counteratomic
+// analyzer: one field of an annotated struct is bumped atomically but
+// read plainly.
+package counters
+
+import "sync/atomic"
+
+// Stats is held to one access discipline per field.
+//
+//lint:atomiccounters
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Bump is the atomic side of the mixed field.
+func (s *Stats) Bump() {
+	atomic.AddUint64(&s.Hits, 1)
+}
+
+// Snapshot reads Hits plainly — the torn read the analyzer exists for.
+// Misses is plain on both sides, so it stays clean.
+func (s *Stats) Snapshot() (uint64, uint64) {
+	return s.Hits, s.Misses // want: plain access to mixed field Hits
+}
+
+// Miss keeps Misses all-plain.
+func (s *Stats) Miss() {
+	s.Misses++
+}

@@ -1,0 +1,34 @@
+package counters
+
+import "sync/atomic"
+
+// Gauges mixes in the other direction: mostly atomic, one plain write.
+//
+//lint:atomiccounters
+type Gauges struct {
+	Depth uint64
+	Peak  uint64
+}
+
+// Observe is the atomic side.
+func (g *Gauges) Observe(d uint64) {
+	atomic.StoreUint64(&g.Depth, d)
+	atomic.StoreUint64(&g.Peak, max(atomic.LoadUint64(&g.Peak), d))
+}
+
+// Reset writes Depth plainly — flagged; the suppressed Peak write shows
+// a justified single-owner reset.
+func (g *Gauges) Reset() {
+	g.Depth = 0 // want: plain access to mixed field Depth
+	//lint:allow counteratomic fixture demonstrates a justified suppression
+	g.Peak = 0
+}
+
+// Plain is an unannotated struct: mixing is not the analyzer's business.
+type Plain struct{ N uint64 }
+
+// Mix would be flagged if Plain were annotated.
+func (p *Plain) Mix() uint64 {
+	atomic.AddUint64(&p.N, 1)
+	return p.N
+}

@@ -1,0 +1,26 @@
+package hot
+
+// Drain is a second annotated root exercising the coldpath boundary and
+// //lint:allow suppression.
+//
+//lint:hotpath
+func Drain(keys []uint64) {
+	slowPath(keys) // boundary: slowPath's allocations stay unflagged
+	//lint:allow hotpathalloc fixture demonstrates a justified suppression
+	suppressed := new(int)
+	Sink = suppressed
+	//lint:allow hotpathalloc
+	bare := new(int) // want: bare allow (no reason) suppresses nothing
+	Sink = bare
+}
+
+// slowPath allocates freely: it is the explicit cold side.
+//
+//lint:coldpath
+func slowPath(keys []uint64) {
+	m := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		m[k] = true
+	}
+	Sink = m
+}

@@ -1,0 +1,46 @@
+// Package hot is a seeded-bad fixture for the hotpathalloc analyzer:
+// every construct the analyzer forbids, reachable from one annotated
+// root.
+package hot
+
+import "fmt"
+
+// Sink keeps fixture results observable without unused-variable errors.
+var Sink any
+
+// Process is the annotated hot-path root; the allocations below and in
+// the helpers it calls must all be flagged.
+//
+//lint:hotpath
+func Process(keys []uint64, scratch []int) {
+	buf := make([]byte, len(keys)) // want: unamortized make
+	tmp := new(int)                // want: new allocates
+	var local []int
+	local = append(local, 1) // want: append grows a function-local slice
+	m := map[uint64]int{}    // want: map literal
+	m[keys[0]] = 1           // want: map write
+	p := &point{x: 1}        // want: address of composite literal
+	fmt.Sprintf("%d", tmp)   // want: fmt allocates
+	Sink = buf
+	Sink = local
+	Sink = p
+	helper(keys, scratch)
+}
+
+type point struct{ x int }
+
+// helper is reachable from Process, so its allocations are hot too.
+func helper(keys []uint64, scratch []int) {
+	n := 0
+	f := func() { n += len(keys) } // want: closure captures n
+	f()
+	scratch = append(scratch, n) // parameter append: exempt
+	if cap(scratch) < len(keys) {
+		scratch = make([]int, len(keys)) // cap-guarded make: exempt
+	}
+	Sink = scratch
+	box(n) // want at the call: boxing an int into any
+}
+
+// box takes an interface parameter so callers box concrete values.
+func box(v any) { Sink = v }

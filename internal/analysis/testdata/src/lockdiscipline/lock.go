@@ -1,0 +1,40 @@
+// Package lock is a seeded-bad fixture for the lockdiscipline analyzer:
+// violations of the *Locked naming convention against a mutex-bearing
+// struct.
+package lock
+
+import "sync"
+
+// Table carries the convention: mu guards the fields declared after it.
+type Table struct {
+	name string // before the mutex: unguarded
+	mu   sync.Mutex
+	n    int
+	m    map[string]int
+}
+
+// flushLocked breaks rule two: a *Locked method must not self-lock.
+func (t *Table) flushLocked() {
+	t.mu.Lock() // want: self-lock in *Locked method
+	defer t.mu.Unlock()
+	t.n = 0
+}
+
+// Grow calls a *Locked method without holding the mutex.
+func (t *Table) Grow() {
+	t.growLocked() // want: call without lock held
+}
+
+// GrowSafe is the correct shape: lock, then call the *Locked method.
+func (t *Table) GrowSafe() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.growLocked()
+}
+
+func (t *Table) growLocked() {
+	t.n++
+}
+
+// Name may touch the unguarded field freely.
+func (t *Table) Name() string { return t.name }

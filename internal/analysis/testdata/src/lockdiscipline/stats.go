@@ -1,0 +1,29 @@
+package lock
+
+import "sync"
+
+// Stats uses an RWMutex; the convention is the same.
+type Stats struct {
+	mu   sync.RWMutex
+	hits uint64
+}
+
+// Hits breaks rule three: an exported method reads a guarded field
+// without taking the lock.
+func (s *Stats) Hits() uint64 {
+	return s.hits // want: guarded field without lock
+}
+
+// HitsSafe is the correct shape.
+func (s *Stats) HitsSafe() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits
+}
+
+// Bump is correct too: write under the lock.
+func (s *Stats) Bump() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}

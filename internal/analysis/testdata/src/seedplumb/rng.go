@@ -1,0 +1,20 @@
+package seeds
+
+import "math/rand"
+
+// Mixer owns an rng field.
+type Mixer struct {
+	rng *rand.Rand
+}
+
+// NewMixer builds the generator from a threaded seed: clean.
+func NewMixer(cfg Config) *Mixer {
+	return &Mixer{rng: rand.New(rand.NewSource(int64(cfg.Seed)))}
+}
+
+// NewMixerGlobal derives the rng from the global source.
+func NewMixerGlobal() *Mixer {
+	m := &Mixer{}
+	m.rng = rand.New(rand.NewSource(rand.Int63())) // want: global-rand seed
+	return m
+}

@@ -1,0 +1,32 @@
+// Package seeds is a seeded-bad fixture for the seedplumb analyzer:
+// seed fields initialized from the wall clock instead of configuration.
+package seeds
+
+import "time"
+
+// Config is where a seed is supposed to come from.
+type Config struct {
+	Seed uint64
+}
+
+// Gen owns a seed field.
+type Gen struct {
+	Seed uint64
+	last uint64
+}
+
+// NewGen threads the seed correctly.
+func NewGen(cfg Config) *Gen {
+	return &Gen{Seed: cfg.Seed}
+}
+
+// NewGenWallClock seeds from the wall clock in a composite literal.
+func NewGenWallClock() *Gen {
+	return &Gen{Seed: uint64(time.Now().UnixNano())} // want: wall-clock seed
+}
+
+// Reseed seeds from the wall clock in an assignment.
+func (g *Gen) Reseed() {
+	g.Seed = uint64(time.Now().UnixNano()) // want: wall-clock seed
+	g.last = g.Seed
+}

@@ -15,6 +15,8 @@
 // from the value). With k independently-whitelisted fields the depths
 // multiply, so w₁·w₂·…·w_k masks can be minted — 32·16 = 512 for the
 // paper's ip_src + tp_dst attack, 32·16·16 = 8192 with tp_src (Calico).
+//
+//lint:deterministic
 package attack
 
 import (

@@ -12,6 +12,8 @@
 // The megaflow cache's sequential mask scan is the algorithmic deficiency
 // the paper exploits: lookup cost is linear in the number of distinct
 // masks, and a tenant can mint masks at will via policy injection.
+//
+//lint:deterministic
 package cache
 
 import (
@@ -130,6 +132,8 @@ func (e *EMC) Lookup(k flow.Key, now uint64) (*Entry, bool) {
 // logical time now: a hit writes ents[i] and clears the bit, a miss keeps
 // it. EMC lookups cost no subtable scans, so costs are untouched. Counter
 // effects equal the scalar Lookup sequence over the same keys.
+//
+//lint:hotpath
 func (e *EMC) LookupBatch(keys []flow.Key, now uint64, ents []*Entry, miss *burst.Bitmap) {
 	if e.max == 0 {
 		return

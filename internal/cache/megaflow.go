@@ -203,20 +203,28 @@ func (m *Megaflow) Lookup(k flow.Key, now uint64) (*Entry, int, bool) {
 // scalar Lookup sequence over the same keys. With SortByHits enabled the
 // sweep falls back to per-key scalar lookups, because re-sort boundaries
 // are clocked per lookup and the inverted loop would shift them mid-burst.
+//
+//lint:hotpath
 func (m *Megaflow) LookupBatch(keys []flow.Key, now uint64, ents []*Entry, costs []int, miss *burst.Bitmap) {
 	if m.cfg.StagedPruning {
 		m.lookupBatchStaged(keys, now, ents, costs, miss)
 		return
 	}
 	if m.cfg.SortByHits {
-		miss.ForEach(func(i int) {
-			ent, cost, ok := m.Lookup(keys[i], now)
-			costs[i] += cost
-			if ok {
-				ents[i] = ent
-				miss.Clear(i)
+		words := miss.Words()
+		for wi := range words {
+			w := words[wi]
+			for w != 0 {
+				i := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				ent, cost, ok := m.Lookup(keys[i], now)
+				costs[i] += cost
+				if ok {
+					ents[i] = ent
+					miss.Clear(i)
+				}
 			}
-		})
+		}
 		return
 	}
 	nSub := len(m.subtables)
@@ -255,7 +263,15 @@ func (m *Megaflow) LookupBatch(keys []flow.Key, now uint64, ents []*Entry, costs
 		m.Lookups += left
 		m.Misses += left
 		m.MasksScanned += left * uint64(nSub)
-		miss.ForEach(func(i int) { costs[i] += nSub })
+		words := miss.Words()
+		for wi := range words {
+			w := words[wi]
+			for w != 0 {
+				i := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				costs[i] += nSub
+			}
+		}
 	}
 }
 
@@ -295,6 +311,7 @@ func (m *Megaflow) maybeResort() {
 		return
 	}
 	m.sinceSort = 0
+	//lint:allow hotpathalloc re-sort is amortized over SortEvery lookups
 	sort.SliceStable(m.subtables, func(i, j int) bool {
 		return m.subtables[i].hits > m.subtables[j].hits
 	})

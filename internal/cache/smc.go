@@ -129,6 +129,8 @@ func (s *SMC) LookupHashed(k flow.Key, h uint64, now uint64) (*Entry, bool) {
 // writes ents[i] and clears the bit, a miss keeps it. Signature-match
 // lookups cost no subtable scans, so costs are untouched. Counter effects
 // equal the scalar Lookup sequence over the same keys.
+//
+//lint:hotpath
 func (s *SMC) LookupBatch(keys []flow.Key, hashes []uint64, now uint64, ents []*Entry, miss *burst.Bitmap) {
 	if s.max == 0 {
 		return

@@ -292,6 +292,8 @@ const maxBurstSignatures = 16
 // counter effects equal the scalar staged sequence. Ranking is deferred
 // to the sweep boundary; exact batch==scalar equality therefore holds
 // for bursts that do not cross a RankEvery boundary.
+//
+//lint:hotpath
 func (m *Megaflow) lookupBatchStaged(keys []flow.Key, now uint64, ents []*Entry, costs []int, miss *burst.Bitmap) {
 	m.BurstSweeps++
 	if cap(m.batchCost) < len(keys) {
@@ -308,45 +310,51 @@ func (m *Megaflow) lookupBatchStaged(keys []flow.Key, now uint64, ents []*Entry,
 	tpSrc, tpDst := flow.FieldByID(flow.FieldTPSrc), flow.FieldByID(flow.FieldTPDst)
 	var srcMin, srcMax, dstMin, dstMax uint64
 	first := true
-	miss.ForEach(func(i int) {
-		mfCost[i] = 0
-		if w0ok {
-			w := keys[i][0]
-			seen := false
-			for _, have := range w0[:nW0] {
-				if have == w {
-					seen = true
-					break
+	preWords := miss.Words()
+	for wi := range preWords {
+		w := preWords[wi]
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			mfCost[i] = 0
+			if w0ok {
+				kw := keys[i][0]
+				seen := false
+				for _, have := range w0[:nW0] {
+					if have == kw {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					if nW0 < maxBurstSignatures {
+						w0[nW0] = kw
+						nW0++
+					} else {
+						w0ok = false
+					}
 				}
 			}
-			if !seen {
-				if nW0 < maxBurstSignatures {
-					w0[nW0] = w
-					nW0++
-				} else {
-					w0ok = false
-				}
+			sp, dp := tpSrc.Get(&keys[i]), tpDst.Get(&keys[i])
+			if first {
+				srcMin, srcMax, dstMin, dstMax = sp, sp, dp, dp
+				first = false
+				continue
+			}
+			if sp < srcMin {
+				srcMin = sp
+			}
+			if sp > srcMax {
+				srcMax = sp
+			}
+			if dp < dstMin {
+				dstMin = dp
+			}
+			if dp > dstMax {
+				dstMax = dp
 			}
 		}
-		sp, dp := tpSrc.Get(&keys[i]), tpDst.Get(&keys[i])
-		if first {
-			srcMin, srcMax, dstMin, dstMax = sp, sp, dp, dp
-			first = false
-			return
-		}
-		if sp < srcMin {
-			srcMin = sp
-		}
-		if sp > srcMax {
-			srcMax = sp
-		}
-		if dp < dstMin {
-			dstMin = dp
-		}
-		if dp > dstMax {
-			dstMax = dp
-		}
-	})
+	}
 
 	for _, st := range m.subtables {
 		if miss.Empty() {
@@ -425,12 +433,18 @@ func (m *Megaflow) lookupBatchStaged(keys []flow.Key, now uint64, ents []*Entry,
 		}
 	}
 	// Survivors paid their pruned sweep: bill them as scalar staged misses.
-	miss.ForEach(func(i int) {
-		m.Lookups++
-		m.Misses++
-		m.MasksScanned += uint64(mfCost[i])
-		costs[i] += mfCost[i]
-	})
+	tailWords := miss.Words()
+	for wi := range tailWords {
+		w := tailWords[wi]
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			m.Lookups++
+			m.Misses++
+			m.MasksScanned += uint64(mfCost[i])
+			costs[i] += mfCost[i]
+		}
+	}
 	m.maybeRank()
 }
 
@@ -450,6 +464,7 @@ func (m *Megaflow) maybeRank() {
 		ss.ewma = rankAlpha*float64(ss.sinceRank) + (1-rankAlpha)*ss.ewma
 		ss.sinceRank = 0
 	}
+	//lint:allow hotpathalloc re-rank is amortized over RankEvery lookups
 	sort.SliceStable(m.subtables, func(i, j int) bool {
 		return m.subtables[i].staged.ewma > m.subtables[j].staged.ewma
 	})

@@ -21,6 +21,8 @@
 // All randomness comes from one splitmix64 stream seeded by the
 // scenario seed; the same pack and seed replays the same faults
 // byte-for-byte.
+//
+//lint:deterministic
 package chaos
 
 import (

@@ -199,6 +199,7 @@ func (t *Table) Commit(ft flow.FiveTuple, now uint64) bool {
 		t.Drops++
 		return false
 	}
+	//lint:allow hotpathalloc one insert per new connection, not per packet
 	t.conns[key] = &Conn{Orig: ft, Created: now, LastSeen: now, Packets: 1}
 	t.Commits++
 	return true

@@ -20,6 +20,7 @@ package dataplane
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"policyinject/internal/burst"
@@ -173,7 +174,11 @@ type TierHit struct {
 
 // Counters aggregates switch-level statistics. Cache hits are per tier
 // (TierHits, in walk order); the EMCHits/MFHits accessors cover the common
-// hierarchies.
+// hierarchies. The whole struct is owned by the single-threaded switch
+// loop, so the discipline counteratomic holds every field to is "always
+// plain" — never mix in atomic access.
+//
+//lint:atomiccounters
 type Counters struct {
 	Packets    uint64
 	TierHits   []TierHit
@@ -594,15 +599,23 @@ func (s *Switch) processBatch(now uint64, keys []flow.Key, hashes []uint64, out 
 			bt.LookupBatch(keys, hashes, now, bs.ents, bs.costs, &bs.miss)
 		} else {
 			// Scalar fallback: tiers without a batch path are probed key
-			// by key, so WithTiers custom hierarchies keep working.
-			bs.prev.ForEach(func(i int) {
-				ent, cost, ok := t.Lookup(keys[i], now)
-				bs.costs[i] += cost
-				if ok {
-					bs.ents[i] = ent
-					bs.miss.Clear(i)
+			// by key, so WithTiers custom hierarchies keep working. The
+			// word-at-a-time iteration (not ForEach) keeps the hot loop
+			// closure-free.
+			words := bs.prev.Words()
+			for wi := range words {
+				w := words[wi]
+				for w != 0 {
+					i := wi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					ent, cost, ok := t.Lookup(keys[i], now)
+					bs.costs[i] += cost
+					if ok {
+						bs.ents[i] = ent
+						bs.miss.Clear(i)
+					}
 				}
-			})
+			}
 		}
 		// Bill and promote this pass's hits (prev &^ miss), exactly as the
 		// scalar walk would: hit on tier ti installs into tiers [0, ti).
@@ -623,9 +636,15 @@ func (s *Switch) processBatch(now uint64, keys []flow.Key, hashes []uint64, out 
 	// do to avoid duplicate installs.
 	if !bs.miss.Empty() {
 		installs := 0
-		bs.miss.ForEach(func(i int) {
-			out[i] = s.upcallOne(now, keys[i], hashAt(hashes, i), hashes != nil, bs.costs[i], &installs)
-		})
+		words := bs.miss.Words()
+		for wi := range words {
+			w := words[wi]
+			for w != 0 {
+				i := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				out[i] = s.upcallOne(now, keys[i], hashAt(hashes, i), hashes != nil, bs.costs[i], &installs)
+			}
+		}
 	}
 
 	// Verdict accounting and conntrack recirculation for the
@@ -766,12 +785,16 @@ func (s *Switch) classifyTracked(now uint64, k flow.Key) (Decision, int, *cache.
 // the tiers above, so their hits keep the flow warm. The bool reports
 // whether a megaflow was installed (the batch tail uses it to decide when
 // later misses must re-probe).
+//
+//lint:coldpath
 func (s *Switch) upcall(now uint64, k flow.Key, scanned int) (Decision, bool) {
 	return s.upcallHashed(now, k, 0, false, scanned)
 }
 
 // upcallHashed is upcall carrying the key's cached burst hash for the
 // promotion of the freshly installed megaflow.
+//
+//lint:coldpath
 func (s *Switch) upcallHashed(now uint64, k flow.Key, h uint64, hasHash bool, scanned int) (Decision, bool) {
 	if s.upGuard != nil && !s.upGuard.AdmitUpcall(now, uint32(k.Get(flow.FieldInPort))) {
 		// Refused at admission: the packet is dropped at the datapath

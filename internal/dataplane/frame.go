@@ -111,6 +111,8 @@ func denyDecision() Decision {
 // counters are exactly those of a scalar Process loop, with the batch
 // visibility rule of ProcessBatch (duplicate keys in non-consecutive runs
 // may answer from a lower tier; verdicts are identical either way).
+//
+//lint:hotpath
 func (s *Switch) ProcessFrames(now uint64, fb *FrameBatch, out []Decision) []Decision {
 	n := fb.Len()
 	out = GrowDecisions(out, n)

@@ -120,6 +120,10 @@ type MegaflowInstaller interface {
 }
 
 // TierStats is a uniform counter snapshot across tier implementations.
+// Snapshots are value copies assembled by the owning tier, so the
+// counteratomic discipline for every field is "always plain".
+//
+//lint:atomiccounters
 type TierStats struct {
 	Name                             string
 	Hits, Misses, Inserts, Evictions uint64

@@ -120,6 +120,7 @@ var fieldsByName = func() map[string]FieldID {
 // which always indicates a programming error.
 func FieldByID(id FieldID) Field {
 	if id >= NumFields {
+		//lint:allow hotpathalloc panic path, reached only on a programming error
 		panic(fmt.Sprintf("flow: invalid field id %d", id))
 	}
 	return fields[id]

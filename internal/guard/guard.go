@@ -23,6 +23,8 @@
 // (revalidator.OverloadController, dataplane.UpcallGuard,
 // dataplane.MaskGuard, cms.PortBinder) structurally; this package
 // imports neither.
+//
+//lint:deterministic
 package guard
 
 import "policyinject/internal/metrics"

@@ -12,6 +12,12 @@ import (
 // L2/L3 fields that were understood; the error (wrapping ErrUnsupported)
 // tells the caller the L4 fields are absent, mirroring how OVS classifies
 // packets it cannot fully parse.
+//
+// This is the full scalar decoder — the fallback ExtractBatch takes for
+// frames outside the dominant wire shapes, and the explicit cold side of
+// the extract hot/cold boundary: its error paths may allocate.
+//
+//lint:coldpath
 func Extract(frame []byte, inPort uint32) (flow.Key, error) {
 	var k flow.Key
 	k.Set(flow.FieldInPort, uint64(inPort))
@@ -151,6 +157,8 @@ func extractL4(b []byte, proto byte, k flow.Key) (flow.Key, error) {
 //
 // keys, errs and inPorts must all have len(frames); ExtractBatch panics
 // otherwise rather than silently truncating the burst.
+//
+//lint:hotpath
 func ExtractBatch(frames [][]byte, inPorts []uint32, keys []flow.Key, errs []error) int {
 	if len(inPorts) != len(frames) || len(keys) != len(frames) || len(errs) != len(frames) {
 		panic("pkt: ExtractBatch slice lengths disagree")

@@ -27,6 +27,8 @@
 // deterministic. Dump *duration* is logical too — flows dumped divided by
 // the configured per-worker dump rate — so the backoff dynamics are a
 // property of the scenario, not of the host the test runs on.
+//
+//lint:deterministic
 package revalidator
 
 import (

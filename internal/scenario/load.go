@@ -6,6 +6,8 @@
 // deterministically. Reporters (human, JSON, CSV) render the common
 // Result type. The split — runner vs reporters vs packs-as-data — means
 // new scenarios are data files, not simulator edits.
+//
+//lint:deterministic
 package scenario
 
 import (

@@ -3,6 +3,8 @@
 // mixes, and the attacker's paced covert-stream replayer. Generators are
 // seeded and allocation-free on the per-packet path so experiments are
 // reproducible run to run.
+//
+//lint:deterministic
 package traffic
 
 import (
