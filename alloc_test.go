@@ -10,12 +10,15 @@ import (
 
 	"policyinject/internal/attack"
 	"policyinject/internal/dataplane"
+	"policyinject/internal/telemetry"
 )
 
 // TestFramePathZeroAlloc replays a warm burst through ProcessFrames and
 // requires zero heap allocations per call, on both the benchmark
 // workloads: the EMC-hit victim mix and the 8192-mask staged megaflow
-// sweep.
+// sweep. The telemetry legs re-run both with a live registry attached —
+// instrument recording shares the contract, so scraping in production
+// costs no hot-path garbage.
 func TestFramePathZeroAlloc(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -30,6 +33,22 @@ func TestFramePathZeroAlloc(t *testing.T) {
 		{
 			name:  "attack8192-megaflow",
 			build: func() *dataplane.Switch { return attackSwitch(t, attack.ThreeField(), true, noEMC) },
+			burst: 32,
+		},
+		{
+			name: "victim-emc-telemetry",
+			build: func() *dataplane.Switch {
+				return attackSwitch(t, attack.TwoField(), false,
+					dataplane.WithTelemetry(telemetry.NewRegistry()))
+			},
+			burst: 256,
+		},
+		{
+			name: "attack8192-megaflow-telemetry",
+			build: func() *dataplane.Switch {
+				return attackSwitch(t, attack.ThreeField(), true, noEMC,
+					dataplane.WithTelemetry(telemetry.NewRegistry()))
+			},
 			burst: 32,
 		},
 	}

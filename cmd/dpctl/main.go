@@ -8,6 +8,8 @@
 //	dpctl dump-masks [-n 20]        mask population with entry counts
 //	dpctl revalidator [-rounds 12]  run dump rounds, print stats + flow limit
 //	dpctl replay -pcap file.pcap    feed a capture through the scenario switch
+//	dpctl metrics [-format prom]    drive traffic, dump the telemetry registry
+//	dpctl trace [spec]              walk one frame through the cache hierarchy
 //	dpctl self-check                validate table invariants
 //
 // Add -attack to run the covert stream before dumping (default on for
@@ -15,6 +17,15 @@
 // revalidator subcommand drives the covert stream itself, one cycle per
 // dump round, and prints the adaptive flow limit collapsing (-fixed to
 // pin it, -dump-rate to set the logical dump speed).
+//
+// The trace subcommand is the model's ofproto/trace: it takes a frame
+// spec ("ip_src=10.0.0.1,ip_dst=10.0.0.9,proto=tcp,tp_dst=5201"),
+// builds the wire frame, and prints every tier decision on the way to
+// the verdict — EMC/SMC probes, subtable scans and stage-hash bails,
+// the upcall admission verdict, the matched rule and the minted
+// megaflow. -warm N first processes the frame N times (to see cache
+// promotion); -emc restores the exact-match cache the demo scenario
+// disables.
 package main
 
 import (
@@ -23,6 +34,8 @@ import (
 	"net/netip"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"policyinject/internal/attack"
 	"policyinject/internal/cache"
@@ -32,6 +45,7 @@ import (
 	"policyinject/internal/flowtable"
 	"policyinject/internal/pkt"
 	"policyinject/internal/revalidator"
+	"policyinject/internal/telemetry"
 	"policyinject/internal/traffic"
 )
 
@@ -58,9 +72,24 @@ func main() {
 	interval := fs.Uint64("interval", 5, "revalidator: dump interval in logical units")
 	dumpRate := fs.Float64("dump-rate", 64, "revalidator: flows dumped per worker per unit")
 	fixed := fs.Bool("fixed", false, "revalidator: disable the adaptive flow-limit heuristic")
+	format := fs.String("format", "prom", "metrics: output format, prom or json")
+	emc := fs.Bool("emc", false, "trace: restore the exact-match cache tier")
+	warm := fs.Int("warm", 0, "trace: process the frame this many times before tracing")
 	fs.Parse(args)
 
-	sc, err := buildScenario(*fields, *doAttack, *smc)
+	// Extra datapath options some subcommands inject at build time: the
+	// EMC tier for trace, the live-instrument registry for metrics.
+	var extra []dataplane.Option
+	if *emc {
+		extra = append(extra, dataplane.WithEMC(cache.EMCConfig{}))
+	}
+	var reg *telemetry.Registry
+	if cmd == "metrics" {
+		reg = telemetry.NewRegistry()
+		extra = append(extra, dataplane.WithTelemetry(reg))
+	}
+
+	sc, err := buildScenario(*fields, *doAttack, *smc, extra...)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,6 +112,14 @@ func main() {
 		if err := replay(sw, *pcapPath); err != nil {
 			fatal(err)
 		}
+	case "metrics":
+		if err := runMetrics(sc, reg, *format, *rounds, *interval); err != nil {
+			fatal(err)
+		}
+	case "trace":
+		if err := runTrace(sc, fs.Args(), *warm); err != nil {
+			fatal(err)
+		}
 	case "self-check":
 		selfCheck(sw)
 	default:
@@ -92,7 +129,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dpctl {show|dump-rules|dump-flows|dump-masks|revalidator|replay|self-check} [-attack] [-fields ...] [-n N]")
+	fmt.Fprintln(os.Stderr, "usage: dpctl {show|dump-rules|dump-flows|dump-masks|revalidator|replay|metrics|trace|self-check} [-attack] [-fields ...] [-n N]")
 }
 
 func fatal(err error) {
@@ -117,12 +154,15 @@ const scenarioNow = 3
 // buildScenario assembles the paper's demo cluster: victim and attacker
 // pods sharing a hypervisor, victim policy installed, attacker policy
 // injected, and (optionally) the covert stream plus victim warm traffic.
-func buildScenario(fields string, execute, smc bool) (*scenario, error) {
+// extra options append after the defaults, so they win conflicts (the
+// trace subcommand's -emc undoes the stock WithoutEMC this way).
+func buildScenario(fields string, execute, smc bool, extra ...dataplane.Option) (*scenario, error) {
 	cluster := cms.NewCluster()
 	cluster.SwitchOpts = []dataplane.Option{dataplane.WithoutEMC()}
 	if smc {
 		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithSMC(cache.SMCConfig{}))
 	}
+	cluster.SwitchOpts = append(cluster.SwitchOpts, extra...)
 	if _, err := cluster.AddNode("server-1"); err != nil {
 		return nil, err
 	}
@@ -356,6 +396,134 @@ func replay(sw *dataplane.Switch, path string) error {
 		len(frames), allowed, denied, errs)
 	fmt.Printf("megaflow masks: %d -> %d\n", masksBefore, sw.Megaflow().NumMasks())
 	return nil
+}
+
+// runMetrics exercises the instrumented demo switch — victim bursts plus
+// the covert stream as wire frames, one revalidator round per cycle —
+// then dumps the telemetry registry in Prometheus text or JSON form.
+func runMetrics(sc *scenario, reg *telemetry.Registry, format string, rounds int, interval uint64) error {
+	if format != "prom" && format != "json" {
+		return fmt.Errorf("metrics: unknown -format %q (want prom or json)", format)
+	}
+	frames, err := sc.atk.Frames()
+	if err != nil {
+		return err
+	}
+	victim := traffic.NewVictim(traffic.VictimConfig{
+		Src: sc.victimIP, Dst: sc.victimIP, InPort: sc.victimPort,
+	})
+	rev := revalidator.New(revalidator.Config{})
+	rev.SetTelemetry(reg)
+	rev.Attach(sc.sw)
+
+	const burstLen = 32
+	var fb dataplane.FrameBatch
+	var out []dataplane.Decision
+	now := uint64(1)
+	for r := 0; r < rounds; r++ {
+		fb.Reset()
+		for i := 0; i < 64; i++ {
+			fb.Append(victim.NextFrame())
+		}
+		out = sc.sw.ProcessFrames(now, &fb, out)
+		for start := 0; start < len(frames); start += burstLen {
+			fb.Reset()
+			for _, fr := range frames[start:min(start+burstLen, len(frames))] {
+				fb.Append(fr, sc.attackerPort)
+			}
+			out = sc.sw.ProcessFrames(now, &fb, out)
+		}
+		rev.Tick(now)
+		now += interval
+	}
+	sc.sw.PublishTelemetry()
+	snap := reg.Snapshot()
+	if format == "json" {
+		return snap.WriteJSON(os.Stdout)
+	}
+	return snap.WriteProm(os.Stdout)
+}
+
+// runTrace parses the frame spec, optionally warms the caches with it,
+// and prints the explained walk through the tier hierarchy.
+func runTrace(sc *scenario, args []string, warm int) error {
+	if len(args) != 1 {
+		return fmt.Errorf(`trace wants one frame spec, e.g. "ip_src=10.0.0.1,ip_dst=%s,proto=tcp,tp_src=40000,tp_dst=5201"`, sc.victimIP)
+	}
+	frame, inPort, err := parseFrameSpec(args[0], sc)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < warm; i++ {
+		if _, err := sc.sw.Process(scenarioNow-1, inPort, frame); err != nil {
+			return fmt.Errorf("warming: %w", err)
+		}
+	}
+	fmt.Print(sc.sw.TraceFrame(scenarioNow, frame, inPort).String())
+	return nil
+}
+
+// parseFrameSpec lowers "k=v,k=v" onto a built wire frame. Unset
+// addresses default to the demo victim flow (client /24 -> victim pod),
+// the input port to the victim's, the protocol to TCP.
+func parseFrameSpec(spec string, sc *scenario) ([]byte, uint32, error) {
+	ps := pkt.Spec{Proto: pkt.ProtoTCP, Dst: sc.victimIP}
+	inPort := sc.victimPort
+	for _, kv := range splitComma(spec) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, 0, fmt.Errorf("frame spec: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "ip_src":
+			ps.Src, err = netip.ParseAddr(v)
+		case "ip_dst":
+			ps.Dst, err = netip.ParseAddr(v)
+		case "proto":
+			switch v {
+			case "tcp":
+				ps.Proto = pkt.ProtoTCP
+			case "udp":
+				ps.Proto = pkt.ProtoUDP
+			case "icmp":
+				ps.Proto = pkt.ProtoICMP
+			default:
+				var n uint64
+				n, err = strconv.ParseUint(v, 10, 8)
+				ps.Proto = uint8(n)
+			}
+		case "tp_src":
+			var n uint64
+			n, err = strconv.ParseUint(v, 10, 16)
+			ps.SrcPort = uint16(n)
+		case "tp_dst":
+			var n uint64
+			n, err = strconv.ParseUint(v, 10, 16)
+			ps.DstPort = uint16(n)
+		case "in_port":
+			var n uint64
+			n, err = strconv.ParseUint(v, 10, 32)
+			inPort = uint32(n)
+		case "frame_len":
+			var n uint64
+			n, err = strconv.ParseUint(v, 10, 16)
+			ps.FrameLen = int(n)
+		default:
+			return nil, 0, fmt.Errorf("frame spec: unknown key %q", k)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("frame spec: %s=%s: %w", k, v, err)
+		}
+	}
+	if !ps.Src.IsValid() {
+		ps.Src = netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	}
+	frame, err := pkt.Build(ps)
+	if err != nil {
+		return nil, 0, fmt.Errorf("frame spec: %w", err)
+	}
+	return frame, inPort, nil
 }
 
 func selfCheck(sw *dataplane.Switch) {

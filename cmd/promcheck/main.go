@@ -1,0 +1,294 @@
+// Command promcheck validates Prometheus text exposition format
+// (version 0.0.4) read from stdin or from file arguments. It is the
+// CI gate behind the telemetry-smoke step: `dpctl metrics | promcheck`
+// proves the scrape surface stays parseable without pulling a
+// Prometheus client library into the module.
+//
+// Checked per input:
+//   - every non-comment line is `name{labels} value [timestamp]` with a
+//     legal metric name, quoted+escaped label values, and a float value
+//     (NaN/+Inf/-Inf included);
+//   - `# TYPE` lines carry a known type and appear at most once per
+//     family, before any of the family's samples;
+//   - samples under a declared family use only the suffixes that type
+//     allows (summary: quantile series plus _sum/_count; histogram:
+//     _bucket/_sum/_count).
+//
+// Exit status: 0 when every input parses, 1 otherwise (one line per
+// problem on stderr), 2 on usage/IO errors.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		check("<stdin>", os.Stdin)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(2)
+		}
+		check(path, f)
+		f.Close()
+	}
+}
+
+// check validates one exposition, printing problems and exiting
+// nonzero on the first broken input.
+func check(name string, r io.Reader) {
+	problems, samples, err := validate(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %s\n", name, p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: ok (%d samples)\n", name, samples)
+}
+
+// validate scans one exposition and returns the problems found plus the
+// number of well-formed samples.
+func validate(r io.Reader) (problems []string, samples int, err error) {
+	types := map[string]string{} // family -> declared type
+	sampled := map[string]bool{} // family has emitted samples
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", lineno, fmt.Sprintf(format, args...)))
+	}
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			family, typ, isType, problem := parseComment(line)
+			if problem != "" {
+				bad("%s", problem)
+				continue
+			}
+			if !isType {
+				continue
+			}
+			if _, dup := types[family]; dup {
+				bad("duplicate TYPE for family %s", family)
+			}
+			if sampled[family] {
+				bad("TYPE for %s after its samples", family)
+			}
+			types[family] = typ
+			continue
+		}
+		metric, labels, value, problem := parseSample(line)
+		if problem != "" {
+			bad("%s", problem)
+			continue
+		}
+		family, suffix := familyOf(metric, types)
+		if typ, ok := types[family]; ok {
+			if !suffixAllowed(typ, suffix, labels) {
+				bad("sample %s does not fit declared %s family %s", metric, typ, family)
+			}
+		}
+		sampled[family] = true
+		samples++
+		_ = value
+	}
+	return problems, samples, sc.Err()
+}
+
+// parseComment validates a # line; TYPE lines return the family+type.
+func parseComment(line string) (family, typ string, isType bool, problem string) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", "", false, "" // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 { // "# TYPE name type"
+			return "", "", false, "malformed TYPE line"
+		}
+		family, typ = fields[2], fields[3]
+		if !validName(family) {
+			return "", "", false, fmt.Sprintf("TYPE with illegal metric name %q", family)
+		}
+		switch typ {
+		case "counter", "gauge", "summary", "histogram", "untyped":
+			return family, typ, true, ""
+		}
+		return "", "", false, fmt.Sprintf("unknown metric type %q", typ)
+	case "HELP":
+		if len(fields) < 3 {
+			return "", "", false, "malformed HELP line"
+		}
+		if !validName(fields[2]) {
+			return "", "", false, fmt.Sprintf("HELP with illegal metric name %q", fields[2])
+		}
+	}
+	return "", "", false, ""
+}
+
+// parseSample validates `name{labels} value [timestamp]`.
+func parseSample(line string) (metric string, labels map[string]string, value float64, problem string) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, "sample without value"
+	}
+	metric = rest[:i]
+	if !validName(metric) {
+		return "", nil, 0, fmt.Sprintf("illegal metric name %q", metric)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return "", nil, 0, "unterminated label set"
+		}
+		var p string
+		labels, p = parseLabels(rest[1:end])
+		if p != "" {
+			return "", nil, 0, p
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, "want `value [timestamp]` after metric"
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Sprintf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Sprintf("bad timestamp %q", fields[1])
+		}
+	}
+	return metric, labels, v, ""
+}
+
+// parseLabels validates the inside of a {...} label set.
+func parseLabels(s string) (map[string]string, string) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Sprintf("label %q without =", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, fmt.Sprintf("illegal label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Sprintf("label %s value is not quoted", name)
+		}
+		// Walk the quoted value honoring \" escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Sprintf("unterminated value for label %s", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Sprintf("duplicate label %s", name)
+		}
+		labels[name] = s[1:end]
+		s = s[end+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Sprintf("junk after label %s", name)
+			}
+			s = s[1:]
+		}
+	}
+	return labels, ""
+}
+
+// familyOf strips the conventional suffix a typed family allows, when a
+// declared summary/histogram family actually claims it (`foo_count` is
+// a child of summary `foo`, but an independent metric next to counter
+// `foo`).
+func familyOf(metric string, types map[string]string) (family, suffix string) {
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(metric, suf); ok {
+			if t := types[base]; t == "summary" || t == "histogram" {
+				return base, suf
+			}
+		}
+	}
+	return metric, ""
+}
+
+// suffixAllowed reports whether a sample with the given suffix (and
+// labels, for summary quantile series) fits a family of type typ.
+func suffixAllowed(typ, suffix string, labels map[string]string) bool {
+	switch typ {
+	case "summary":
+		_, hasQ := labels["quantile"]
+		return suffix == "_sum" || suffix == "_count" || (suffix == "" && hasQ)
+	case "histogram":
+		return suffix == "_sum" || suffix == "_count" || suffix == "_bucket"
+	default:
+		return suffix == ""
+	}
+}
+
+// validName reports whether s is a legal metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s is a legal label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"policyinject/internal/telemetry"
+)
+
+// TestValidateAcceptsRealExposition round-trips an actual registry
+// through WriteProm and demands a clean validation — the contract the
+// CI telemetry-smoke step relies on.
+func TestValidateAcceptsRealExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("dp_frames_total", telemetry.L("switch", "s1")).Add(42)
+	reg.Gauge("dp_mf_entries", telemetry.L("switch", "s1")).SetInt(7)
+	h := reg.Histogram("dp_burst_ns")
+	for i := uint64(1); i <= 100; i++ {
+		h.Record(i * 100)
+	}
+	var b strings.Builder
+	if err := reg.Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	problems, samples, err := validate(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("real exposition rejected:\n%s\ninput:\n%s", strings.Join(problems, "\n"), b.String())
+	}
+	// counter + gauge + summary (3 quantiles, sum, count) + max gauge.
+	if samples != 1+1+5+1 {
+		t.Errorf("samples = %d, want 8", samples)
+	}
+}
+
+func TestValidateCatchesBrokenInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		wants string // substring of the reported problem
+	}{
+		{"bad-name", "1bad_metric 3\n", "illegal metric name"},
+		{"bad-value", "m galaxy\n", "bad sample value"},
+		{"unquoted-label", `m{x=3} 1` + "\n", "not quoted"},
+		{"unterminated-label", `m{x="3} 1` + "\n", "unterminated"},
+		{"dup-label", `m{x="1",x="2"} 1` + "\n", "duplicate label"},
+		{"bad-label-name", `m{9x="1"} 1` + "\n", "illegal label name"},
+		{"bad-type", "# TYPE m sumary\n", "unknown metric type"},
+		{"dup-type", "# TYPE m counter\n# TYPE m counter\n", "duplicate TYPE"},
+		{"type-after-samples", "m 1\n# TYPE m counter\n", "after its samples"},
+		{"counter-with-suffix-family", "# TYPE m counter\n# TYPE m_other counter\nm_bucket 1\n", ""},
+		{"summary-plain-sample", "# TYPE m summary\nm 1\n", "does not fit declared summary"},
+		{"bad-timestamp", "m 1 soon\n", "bad timestamp"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			problems, _, err := validate(strings.NewReader(c.input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.wants == "" {
+				if len(problems) != 0 {
+					t.Fatalf("unexpected problems: %v", problems)
+				}
+				return
+			}
+			if len(problems) == 0 {
+				t.Fatalf("accepted broken input %q", c.input)
+			}
+			if !strings.Contains(problems[0], c.wants) {
+				t.Errorf("problem %q does not mention %q", problems[0], c.wants)
+			}
+		})
+	}
+}
+
+// TestValidateSummaryAndEscapes pins the accepted grammar corners:
+// quantile series, escaped quotes in label values, timestamps, NaN.
+func TestValidateSummaryAndEscapes(t *testing.T) {
+	input := `# HELP lat_ns request latency
+# TYPE lat_ns summary
+lat_ns{quantile="0.5"} 120
+lat_ns{quantile="0.99"} NaN
+lat_ns_sum 1.5e+06 1712345678
+lat_ns_count 100
+esc{msg="say \"hi\",ok"} +Inf
+`
+	problems, samples, err := validate(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("problems: %v", problems)
+	}
+	if samples != 5 {
+		t.Errorf("samples = %d, want 5", samples)
+	}
+}

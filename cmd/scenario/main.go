@@ -20,8 +20,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"policyinject/internal/scenario"
+	"policyinject/internal/telemetry"
 	"policyinject/scenarios"
 )
 
@@ -69,6 +71,10 @@ run flags:
   -duration n              override the pack duration
   -measure wall|off        override the measurement mode
   -samples n               override measure.cost_samples / matrix.samples
+  -telemetry addr          serve live telemetry on addr (/metrics,
+                           /metrics.json, /debug/pprof/) while packs run
+  -telemetry-hold dur      keep the telemetry listener up this long after
+                           the last pack finishes (for scraping final state)
 
 packs default to ./scenarios/... on disk, else the embedded corpus.
 `)
@@ -177,6 +183,8 @@ func cmdRun(args []string) error {
 	duration := fs.Int("duration", 0, "override the pack duration (0: keep)")
 	measure := fs.String("measure", "", "override the measurement mode: wall or off")
 	samples := fs.Int("samples", 0, "override cost/matrix samples (0: keep)")
+	telemetryAddr := fs.String("telemetry", "", "serve live telemetry on this address while packs run (empty: off)")
+	telemetryHold := fs.Duration("telemetry-hold", 0, "keep the telemetry listener up this long after the last pack")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -205,11 +213,22 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" {
+		reg = telemetry.NewRegistry()
+		bound, closeFn, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer closeFn()
+		fmt.Fprintf(os.Stderr, "scenario: telemetry on http://%s/metrics (json at /metrics.json, pprof at /debug/pprof/)\n", bound)
+	}
 	opt := scenario.RunOptions{
 		Seed:        *seed,
 		Duration:    *duration,
 		Measure:     *measure,
 		CostSamples: *samples,
+		Telemetry:   reg,
 	}
 
 	sort.Slice(packs, func(i, j int) bool { return packs[i].pack.Name < packs[j].pack.Name })
@@ -235,6 +254,10 @@ func cmdRun(args []string) error {
 		} else if err := rep.Report(os.Stdout, res); err != nil {
 			return err
 		}
+	}
+	if reg != nil && *telemetryHold > 0 {
+		fmt.Fprintf(os.Stderr, "scenario: holding telemetry listener for %s\n", *telemetryHold)
+		time.Sleep(*telemetryHold)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "scenario: %d pack(s) failed their expectations\n", failed)

@@ -29,6 +29,7 @@ import (
 	"policyinject/internal/conntrack"
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
+	"policyinject/internal/telemetry"
 )
 
 // Path identifies which layer decided a packet's fate.
@@ -70,6 +71,7 @@ type config struct {
 	upGuard    UpcallGuard
 	maskGuard  MaskGuard
 	tierWrap   func(Tier) Tier
+	telemetry  *telemetry.Registry
 }
 
 // UpcallGuard is the upcall admission hook: consulted once per slow-path
@@ -245,6 +247,8 @@ type Switch struct {
 
 	ct *conntrack.Table
 
+	tel *telemetryHooks // live-telemetry handles, nil without WithTelemetry
+
 	counters Counters
 	batch    batchScratch
 
@@ -358,6 +362,9 @@ func New(name string, opts ...Option) *Switch {
 		if mf := s.Megaflow(); mf != nil {
 			mf.SetMaskHooks(cache.MaskHooks{Admit: g.AdmitMask, Minted: g.MaskMinted, Dropped: g.MaskDropped})
 		}
+	}
+	if cfg.telemetry != nil {
+		s.tel = newTelemetryHooks(cfg.telemetry, s)
 	}
 	return s
 }
@@ -595,6 +602,10 @@ func (s *Switch) processBatch(now uint64, keys []flow.Key, hashes []uint64, out 
 			break
 		}
 		bs.prev.CopyFrom(&bs.miss)
+		var tierStart uint64
+		if s.tel != nil {
+			tierStart = telemetry.Clock()
+		}
 		if bt, ok := t.(BatchTier); ok {
 			bt.LookupBatch(keys, hashes, now, bs.ents, bs.costs, &bs.miss)
 		} else {
@@ -616,6 +627,11 @@ func (s *Switch) processBatch(now uint64, keys []flow.Key, hashes []uint64, out 
 					}
 				}
 			}
+		}
+		if s.tel != nil {
+			// Tier-pass latency: one observation per burst per tier, wall
+			// time of the LookupBatch (or scalar-fallback) pass alone.
+			s.tel.tierNs[ti].Record(telemetry.Clock() - tierStart)
 		}
 		// Bill and promote this pass's hits (prev &^ miss), exactly as the
 		// scalar walk would: hit on tier ti installs into tiers [0, ti).

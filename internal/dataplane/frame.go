@@ -5,6 +5,7 @@ import (
 	"policyinject/internal/flow"
 	"policyinject/internal/flowtable"
 	"policyinject/internal/pkt"
+	"policyinject/internal/telemetry"
 )
 
 // FrameBatch is the frame-first ingress unit: a burst of raw wire frames
@@ -114,6 +115,29 @@ func denyDecision() Decision {
 //
 //lint:hotpath
 func (s *Switch) ProcessFrames(now uint64, fb *FrameBatch, out []Decision) []Decision {
+	tel := s.tel
+	if tel == nil {
+		return s.processFrames(now, fb, out)
+	}
+	// Instrumented leg: stamp the burst's wall latency and settle the
+	// counter deltas it accrued. Everything here is plain arithmetic
+	// plus atomic adds on handles resolved at registration — the
+	// zero-alloc contract of this root holds with telemetry on.
+	t0 := telemetry.Clock()
+	prev := s.counters
+	var scan0, visits0 uint64
+	if tel.mf != nil {
+		scan0, visits0 = tel.mf.MasksScanned, tel.mf.SubtableVisits
+	}
+	copy(tel.prevTierHits, s.tierHits)
+	out = s.processFrames(now, fb, out)
+	tel.record(&s.counters, &prev, s.tierHits, scan0, visits0, uint64(fb.Len()), telemetry.Clock()-t0)
+	return out
+}
+
+// processFrames is the uninstrumented frame pipeline ProcessFrames
+// wraps.
+func (s *Switch) processFrames(now uint64, fb *FrameBatch, out []Decision) []Decision {
 	n := fb.Len()
 	out = GrowDecisions(out, n)
 	if n == 0 {

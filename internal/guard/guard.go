@@ -42,6 +42,8 @@ type Guard struct {
 	Kill      *KillSwitch // nil when not configured
 	Admission *Admission  // nil when not configured
 	Masks     *MaskLedger // nil when not configured
+
+	tel *guardTelemetry // live instruments, nil without SetTelemetry
 }
 
 // New builds the configured guards. A zero Config yields an empty (but

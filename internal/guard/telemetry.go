@@ -1,0 +1,81 @@
+package guard
+
+import "policyinject/internal/telemetry"
+
+// guardTelemetry holds the guard's instrument handles. The guard's own
+// counters are plain monotonic totals maintained by the single
+// timeline goroutine, so PublishTelemetry republishes them with
+// Counter.Store (the single-publisher pattern) rather than threading
+// atomic adds through the deterministic admission path.
+type guardTelemetry struct {
+	admitted     *telemetry.Counter
+	dropped      *telemetry.Counter
+	fairDrops    *telemetry.Counter
+	breakerDrops *telemetry.Counter
+	breakerTrips *telemetry.Counter
+	quotaRejects *telemetry.Counter
+	masksMinted  *telemetry.Counter
+	killTrips    *telemetry.Counter
+
+	killEngaged  *telemetry.Gauge
+	breakerState *telemetry.Gauge // 0 closed, 1 half-open, 2 open
+}
+
+// SetTelemetry registers the guard's live instruments into reg. Call
+// once at timeline setup; nil disables publishing.
+func (g *Guard) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		g.tel = nil
+		return
+	}
+	g.tel = &guardTelemetry{
+		admitted:     reg.Counter("guard_upcalls_admitted_total"),
+		dropped:      reg.Counter("guard_upcalls_dropped_total"),
+		fairDrops:    reg.Counter("guard_fair_drops_total"),
+		breakerDrops: reg.Counter("guard_breaker_drops_total"),
+		breakerTrips: reg.Counter("guard_breaker_trips_total"),
+		quotaRejects: reg.Counter("guard_quota_rejects_total"),
+		masksMinted:  reg.Counter("guard_masks_minted_total"),
+		killTrips:    reg.Counter("guard_killswitch_trips_total"),
+		killEngaged:  reg.Gauge("guard_killswitch_engaged"),
+		breakerState: reg.Gauge("guard_breaker_state"),
+	}
+}
+
+// PublishTelemetry republishes the guard counters and state gauges.
+// The scenario timeline calls it once per tick. No-op without
+// SetTelemetry or for unconfigured sub-guards.
+func (g *Guard) PublishTelemetry() {
+	t := g.tel
+	if t == nil {
+		return
+	}
+	if g.Kill != nil {
+		engaged := 0.0
+		if g.Kill.Engaged() {
+			engaged = 1
+		}
+		t.killEngaged.Set(engaged)
+		t.killTrips.Store(g.Kill.Trips())
+	}
+	if g.Admission != nil {
+		st := g.Admission.Stats()
+		t.admitted.Store(st.Admitted)
+		t.dropped.Store(st.Dropped)
+		t.fairDrops.Store(st.FairDropped)
+		t.breakerDrops.Store(st.BreakerDropped)
+		t.breakerTrips.Store(st.BreakerTrips)
+		switch st.State {
+		case "open":
+			t.breakerState.Set(2)
+		case "half-open":
+			t.breakerState.Set(1)
+		default:
+			t.breakerState.Set(0)
+		}
+	}
+	if g.Masks != nil {
+		t.quotaRejects.Store(g.Masks.Rejects())
+		t.masksMinted.Store(g.Masks.Minted())
+	}
+}

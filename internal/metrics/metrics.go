@@ -26,17 +26,30 @@ func (s *Series) Add(t, v float64) {
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.T) }
 
-// At returns the value at the sample with the greatest time <= t, or 0
-// before the first sample.
+// At returns the value at the sample with the greatest time <= t (the
+// last-appended such sample when several share that time), or 0 before
+// the first sample. Timeline series append in clock order, so the
+// common case is a binary search; a series whose times arrived out of
+// order is still answered correctly through a linear scan rather than
+// silently misusing binary search on unsorted data.
 func (s *Series) At(t float64) float64 {
-	i := sort.SearchFloat64s(s.T, t)
-	if i < len(s.T) && s.T[i] == t {
-		return s.V[i]
+	if sort.Float64sAreSorted(s.T) {
+		i := sort.Search(len(s.T), func(j int) bool { return s.T[j] > t })
+		if i == 0 {
+			return 0
+		}
+		return s.V[i-1]
 	}
-	if i == 0 {
+	best := -1
+	for i, ti := range s.T {
+		if ti <= t && (best < 0 || ti >= s.T[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
 		return 0
 	}
-	return s.V[i-1]
+	return s.V[best]
 }
 
 // Window returns the values with t in [from, to).

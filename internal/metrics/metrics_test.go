@@ -22,6 +22,38 @@ func TestSeriesAddAt(t *testing.T) {
 	}
 }
 
+// TestSeriesAtUnsortedAndDuplicates is the regression test for At's
+// sorted-T assumption: out-of-order appends used to feed unsorted data
+// into a binary search (wrong neighbor), and duplicate times returned
+// the first-appended sample instead of the last observation at that
+// clock reading.
+func TestSeriesAtUnsortedAndDuplicates(t *testing.T) {
+	var unsorted Series
+	unsorted.Add(20, 3)
+	unsorted.Add(0, 1)
+	unsorted.Add(10, 2)
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 1}, {5, 1}, {10, 2}, {15, 2}, {20, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := unsorted.At(c.t); got != c.want {
+			t.Errorf("unsorted At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+
+	var dup Series
+	dup.Add(0, 1)
+	dup.Add(10, 2)
+	dup.Add(10, 5) // re-observed within the same tick: the later sample wins
+	dup.Add(20, 3)
+	if got := dup.At(10); got != 5 {
+		t.Errorf("duplicate-time At(10) = %g, want the last sample 5", got)
+	}
+	if got := dup.At(15); got != 5 {
+		t.Errorf("At(15) = %g, want 5", got)
+	}
+}
+
 func TestSeriesWindow(t *testing.T) {
 	var s Series
 	for i := 0; i < 10; i++ {

@@ -41,6 +41,7 @@ import (
 	"policyinject/internal/dataplane"
 	"policyinject/internal/flowtable"
 	"policyinject/internal/metrics"
+	"policyinject/internal/telemetry"
 )
 
 // Target is one datapath instance under revalidator maintenance.
@@ -216,6 +217,8 @@ type Revalidator struct {
 	stats   Stats
 	deltas  []roundDelta // per-worker scratch, reused each round
 	workers []WorkerStats
+
+	tel *revTelemetry // live instruments, nil without SetTelemetry
 }
 
 // roundDelta accumulates one worker's sweep results.
@@ -296,6 +299,10 @@ func (r *Revalidator) Tick(now uint64) bool {
 // shard (concurrently when there is real work to parallelise), then feeds
 // the measured dump duration to the flow-limit heuristic.
 func (r *Revalidator) runRound(now uint64) {
+	var wall0 uint64
+	if r.tel != nil {
+		wall0 = telemetry.Clock()
+	}
 	w := r.cfg.Workers
 	if cap(r.deltas) < w {
 		r.deltas = make([]roundDelta, w)
@@ -373,6 +380,9 @@ func (r *Revalidator) runRound(now uint64) {
 		At: now, Flows: total.flows, Duration: duration, Overrun: overrun,
 		IdleEvicted: total.idle, LimitEvicted: total.limit, PolicyFlushed: total.policy,
 		FlowLimit: r.limit,
+	}
+	if r.tel != nil {
+		r.tel.record(&r.stats.Last, telemetry.Clock()-wall0)
 	}
 }
 

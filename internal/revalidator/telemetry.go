@@ -1,0 +1,58 @@
+package revalidator
+
+import "policyinject/internal/telemetry"
+
+// revTelemetry is the revalidator's instrument bundle, resolved once
+// in SetTelemetry. Rounds record logical units (flows, dump duration
+// in interval units, evictions) — fully deterministic — plus one wall
+// nanosecond histogram via telemetry.Clock, which feeds observability
+// only and never the simulation: the deterministic contract of this
+// package is about decisions, and no decision reads the wall clock.
+type revTelemetry struct {
+	rounds   *telemetry.Counter
+	overruns *telemetry.Counter
+	idle     *telemetry.Counter
+	limit    *telemetry.Counter
+	policy   *telemetry.Counter
+
+	flows     *telemetry.Histogram // flows dumped per round
+	dumpMilli *telemetry.Histogram // logical dump duration, milli-units
+	roundNs   *telemetry.Histogram // wall ns per round (observational)
+
+	flowLimit *telemetry.Gauge
+}
+
+// SetTelemetry registers the revalidator's live instruments into reg.
+// Call before the first Tick; nil disables recording.
+func (r *Revalidator) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		r.tel = nil
+		return
+	}
+	r.tel = &revTelemetry{
+		rounds:    reg.Counter("rev_rounds_total"),
+		overruns:  reg.Counter("rev_overruns_total"),
+		idle:      reg.Counter("rev_evicted_idle_total"),
+		limit:     reg.Counter("rev_evicted_limit_total"),
+		policy:    reg.Counter("rev_policy_flushed_total"),
+		flows:     reg.Histogram("rev_flows_per_round"),
+		dumpMilli: reg.Histogram("rev_dump_milliunits"),
+		roundNs:   reg.Histogram("rev_round_ns"),
+		flowLimit: reg.Gauge("rev_flow_limit"),
+	}
+}
+
+// record settles one dump round into the instruments.
+func (t *revTelemetry) record(last *RoundStats, wallNs uint64) {
+	t.rounds.Inc()
+	if last.Overrun {
+		t.overruns.Inc()
+	}
+	t.idle.Add(uint64(last.IdleEvicted))
+	t.limit.Add(uint64(last.LimitEvicted))
+	t.policy.Add(uint64(last.PolicyFlushed))
+	t.flows.Record(uint64(last.Flows))
+	t.dumpMilli.Record(uint64(last.Duration * 1000))
+	t.roundNs.Record(wallNs)
+	t.flowLimit.SetInt(last.FlowLimit)
+}

@@ -21,6 +21,7 @@ import (
 	"policyinject/internal/pkt"
 	"policyinject/internal/revalidator"
 	"policyinject/internal/sim"
+	"policyinject/internal/telemetry"
 	"policyinject/internal/traffic"
 )
 
@@ -97,6 +98,13 @@ type RunOptions struct {
 	AttackStart int    // 0: pack attack start
 	Measure     string // "": pack measure mode
 	CostSamples int    // 0: pack cost_samples
+
+	// Telemetry is the live instrument registry timeline runs record
+	// into (dataplane, revalidator, guards). Nil uses a private
+	// registry: the run is still instrumented — timeline cache gauges
+	// are sourced from registry snapshots either way — but nothing
+	// outlives the run.
+	Telemetry *telemetry.Registry
 }
 
 // Run executes every variant of the pack and evaluates its expectations.
@@ -354,8 +362,17 @@ func runTimeline(p *Pack, opt RunOptions) (*VariantRun, error) {
 		}
 	}
 
+	// Live instruments: the caller's registry, or a private one so the
+	// timeline's cache gauges always flow through the same snapshot
+	// path regardless of whether anyone is scraping.
+	reg := opt.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+
 	cluster := cms.NewCluster()
 	cluster.SwitchOpts = datapathOptions(p.Datapath)
+	cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithTelemetry(reg))
 	if grd != nil && grd.Admission != nil {
 		cluster.SwitchOpts = append(cluster.SwitchOpts, dataplane.WithUpcallGuard(grd.Admission))
 	}
@@ -371,7 +388,11 @@ func runTimeline(p *Pack, opt RunOptions) (*VariantRun, error) {
 	}
 	rev := buildRevalidator(p.Reval, overload)
 	if rev != nil {
+		rev.SetTelemetry(reg)
 		cluster.AttachRevalidator(rev)
+	}
+	if grd != nil {
+		grd.SetTelemetry(reg)
 	}
 	if grd != nil && grd.Masks != nil {
 		cluster.AttachPortLedger(grd.Masks)
@@ -616,6 +637,14 @@ func runTimeline(p *Pack, opt RunOptions) (*VariantRun, error) {
 		if rev != nil && (inj == nil || !inj.StallRevalidator(now)) {
 			rev.Tick(now)
 		}
+		// Publish the tick's cache/guard gauges into the registry, then
+		// record the timeline from a snapshot: the live scrape endpoint
+		// and the pack goldens read the same numbers by construction.
+		sw.PublishTelemetry()
+		if grd != nil {
+			grd.PublishTelemetry()
+		}
+		snap := reg.Snapshot()
 		ts := float64(t)
 		if rev != nil {
 			rev.Observe(tl, ts)
@@ -626,17 +655,19 @@ func runTimeline(p *Pack, opt RunOptions) (*VariantRun, error) {
 		if inj != nil {
 			inj.Observe(tl, ts)
 		}
-		tl.Observe(ts, "mf_entries", float64(sw.Megaflow().Len()))
-		tl.Observe(ts, "mf_masks", float64(sw.Megaflow().NumMasks()))
+		mfEntries, _ := snap.GaugeValue("dp_mf_entries")
+		mfMasks, _ := snap.GaugeValue("dp_mf_masks")
+		tl.Observe(ts, "mf_entries", mfEntries)
+		tl.Observe(ts, "mf_masks", mfMasks)
 		if mode == "wall" {
 			tl.Observe(ts, "victim_gbps", gbps)
 		}
 		if ct != nil {
-			n := ct.Len()
-			if n > ctPeak {
+			ctEntries, _ := snap.GaugeValue("dp_ct_entries")
+			if n := int(ctEntries); n > ctPeak {
 				ctPeak = n
 			}
-			tl.Observe(ts, "ct_entries", float64(n))
+			tl.Observe(ts, "ct_entries", ctEntries)
 		}
 	}
 

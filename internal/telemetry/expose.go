@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteProm renders the snapshot in Prometheus text exposition format
+// (version 0.0.4): counters and gauges as their native types,
+// histograms as summaries with p50/p95/p99 quantiles plus _sum and
+// _count, and a companion <name>_max gauge for the exact maximum.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range s.Counters {
+		c := &s.Counters[i]
+		if i == 0 || s.Counters[i-1].Name != c.Name {
+			fmt.Fprintf(bw, "# TYPE %s counter\n", c.Name)
+		}
+		fmt.Fprintf(bw, "%s%s %d\n", c.Name, promLabels(c.Labels, ""), c.Value)
+	}
+	for i := range s.Gauges {
+		g := &s.Gauges[i]
+		if i == 0 || s.Gauges[i-1].Name != g.Name {
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", g.Name)
+		}
+		fmt.Fprintf(bw, "%s%s %s\n", g.Name, promLabels(g.Labels, ""), promFloat(g.Value))
+	}
+	for i := range s.Histograms {
+		h := &s.Histograms[i]
+		if i == 0 || s.Histograms[i-1].Name != h.Name {
+			fmt.Fprintf(bw, "# TYPE %s summary\n", h.Name)
+		}
+		for _, q := range [...]struct {
+			q float64
+			s string
+		}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+			fmt.Fprintf(bw, "%s%s %d\n", h.Name, promLabels(h.Labels, q.s), h.Quantile(q.q))
+		}
+		fmt.Fprintf(bw, "%s_sum%s %d\n", h.Name, promLabels(h.Labels, ""), h.Sum)
+		fmt.Fprintf(bw, "%s_count%s %d\n", h.Name, promLabels(h.Labels, ""), h.Count)
+	}
+	for i := range s.Histograms {
+		h := &s.Histograms[i]
+		if i == 0 || s.Histograms[i-1].Name != h.Name {
+			fmt.Fprintf(bw, "# TYPE %s_max gauge\n", h.Name)
+		}
+		fmt.Fprintf(bw, "%s_max%s %d\n", h.Name, promLabels(h.Labels, ""), h.Max)
+	}
+	return bw.Flush()
+}
+
+// promLabels renders a label set (plus an optional quantile label) as
+// {k="v",...}, or "" when empty.
+func promLabels(labels []Label, quantile string) string {
+	if len(labels) == 0 && quantile == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	if quantile != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`quantile="`)
+		b.WriteString(quantile)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat renders a gauge value; integral values print without a
+// fractional part so deterministic runs produce stable text.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// jsonSnapshot mirrors Snapshot for JSON exposition, with histogram
+// quantiles precomputed.
+type jsonSnapshot struct {
+	TakenAt    string          `json:"taken_at"`
+	Counters   []jsonCounter   `json:"counters"`
+	Gauges     []jsonGauge     `json:"gauges"`
+	Histograms []jsonHistogram `json:"histograms"`
+}
+
+type jsonCounter struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  uint64            `json:"value"`
+}
+
+type jsonGauge struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+type jsonHistogram struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  uint64            `json:"count"`
+	Sum    uint64            `json:"sum"`
+	Mean   float64           `json:"mean"`
+	P50    uint64            `json:"p50"`
+	P95    uint64            `json:"p95"`
+	P99    uint64            `json:"p99"`
+	Max    uint64            `json:"max"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// WriteJSON renders the snapshot as one indented JSON document.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	js := jsonSnapshot{
+		TakenAt:    s.TakenAt.UTC().Format("2006-01-02T15:04:05.000Z"),
+		Counters:   make([]jsonCounter, len(s.Counters)),
+		Gauges:     make([]jsonGauge, len(s.Gauges)),
+		Histograms: make([]jsonHistogram, len(s.Histograms)),
+	}
+	for i := range s.Counters {
+		c := &s.Counters[i]
+		js.Counters[i] = jsonCounter{Name: c.Name, Labels: labelMap(c.Labels), Value: c.Value}
+	}
+	for i := range s.Gauges {
+		g := &s.Gauges[i]
+		js.Gauges[i] = jsonGauge{Name: g.Name, Labels: labelMap(g.Labels), Value: g.Value}
+	}
+	for i := range s.Histograms {
+		h := &s.Histograms[i]
+		js.Histograms[i] = jsonHistogram{
+			Name: h.Name, Labels: labelMap(h.Labels),
+			Count: h.Count, Sum: h.Sum, Mean: h.Mean(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99), Max: h.Max,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}

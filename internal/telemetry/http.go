@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the scrape mux for a registry:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   JSON exposition
+//	/debug/pprof/   the standard net/http/pprof surface
+//
+// Every scrape takes a fresh Snapshot, so serving concurrently with
+// recording is safe and never blocks the recorders.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP listener on addr serving Handler in a
+// background goroutine. It returns the bound address (useful with
+// ":0") and a close function that stops the listener.
+func Serve(addr string, r *Registry) (bound string, closeFn func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

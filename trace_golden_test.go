@@ -1,0 +1,106 @@
+// Golden tests for the frame-trace explainer — the text dpctl trace
+// prints. The three fixtures cover the three interesting fates of a
+// frame: an EMC hit, an SMC hit, and a staged megaflow sweep that
+// misses everything and upcalls. The explanations are produced by the
+// real tier walk (TraceFrame promotes, installs and counts exactly as
+// Process would), so these goldens pin datapath behavior, not just
+// formatting: a change in scan costs, pruning counters or promotion
+// order shows up here as a text diff.
+package policyinject_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"policyinject/internal/attack"
+	"policyinject/internal/cache"
+	"policyinject/internal/dataplane"
+	"policyinject/internal/pkt"
+)
+
+// traceFrame is the fixture frame: a victim flow matching the port-1
+// whitelist (10.10.0.0/24 -> anywhere), fixed 5-tuple so every run
+// renders the same flow string.
+func traceFrame(t *testing.T) []byte {
+	t.Helper()
+	f, err := pkt.Build(pkt.Spec{
+		Src:      netip.MustParseAddr("10.10.0.5"),
+		Dst:      netip.MustParseAddr("172.16.0.2"),
+		Proto:    pkt.ProtoTCP,
+		SrcPort:  40000,
+		DstPort:  5201,
+		FrameLen: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestTraceFrameGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		// build returns a switch already warmed so the trace lands where
+		// the case name says.
+		build func(t *testing.T) *dataplane.Switch
+		want  string
+	}{
+		{
+			name: "emc-hit",
+			build: func(t *testing.T) *dataplane.Switch {
+				sw := attackSwitch(t, attack.TwoField(), false)
+				if _, err := sw.Process(1, 1, traceFrame(t)); err != nil {
+					t.Fatal(err)
+				}
+				return sw
+			},
+			want: `trace: 128-byte frame on port 1 at t=2
+  flow: eth_dst=02:00:00:00:00:02,eth_src=02:00:00:00:00:01,eth_type=2048,in_port=1,ip_dst=172.16.0.2,ip_proto=6,ip_src=10.10.0.5,tcp_flags=2,tp_dst=5201,tp_src=40000
+  tier 0 emc: HIT (cost 0)
+    matched in_port=1,eth_type=2048,ip_src=10.10.0.0/25,tp_dst=0x1000/4 -> allow
+verdict: allow via emc, masks scanned 0
+`,
+		},
+		{
+			name: "smc-hit",
+			build: func(t *testing.T) *dataplane.Switch {
+				sw := attackSwitch(t, attack.TwoField(), false, noEMC, dataplane.WithSMC(cache.SMCConfig{}))
+				if _, err := sw.Process(1, 1, traceFrame(t)); err != nil {
+					t.Fatal(err)
+				}
+				return sw
+			},
+			want: `trace: 128-byte frame on port 1 at t=2
+  flow: eth_dst=02:00:00:00:00:02,eth_src=02:00:00:00:00:01,eth_type=2048,in_port=1,ip_dst=172.16.0.2,ip_proto=6,ip_src=10.10.0.5,tcp_flags=2,tp_dst=5201,tp_src=40000
+  tier 0 smc: HIT (cost 0)
+    matched in_port=1,eth_type=2048,ip_src=10.10.0.0/25,tp_dst=0x1000/4 -> allow
+verdict: allow via smc, masks scanned 0
+`,
+		},
+		{
+			name: "staged-miss-upcall",
+			build: func(t *testing.T) *dataplane.Switch {
+				return attackSwitch(t, attack.ThreeField(), true, noEMC, dataplane.WithStagedPruning())
+			},
+			want: `trace: 128-byte frame on port 1 at t=2
+  flow: eth_dst=02:00:00:00:00:02,eth_src=02:00:00:00:00:01,eth_type=2048,in_port=1,ip_dst=172.16.0.2,ip_proto=6,ip_src=10.10.0.5,tcp_flags=2,tp_dst=5201,tp_src=40000
+  tier 0 megaflow: MISS (cost 0)
+    subtables: 7936 resident, 0 scanned, 0 probed, 7936 pruned, 0 stage-hash bails
+  upcall: admitted to slow path
+    rule: priority=100,in_port=1,eth_type=2048,ip_src=10.10.0.0/24 actions=allow
+    megaflow: in_port=1,eth_type=2048,ip_src=10.10.0.0/25,tp_src=0x8000/1,tp_dst=0x1000/4
+    install: ok (promoted to upper tiers)
+verdict: allow via slowpath, masks scanned 0
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw := tc.build(t)
+			got := sw.TraceFrame(2, traceFrame(t), 1).String()
+			if got != tc.want {
+				t.Errorf("trace text drifted from golden.\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
