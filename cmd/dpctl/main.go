@@ -201,15 +201,17 @@ func buildScenario(fields string, execute, smc bool, extra ...dataplane.Option) 
 		}
 		for i := range keys {
 			keys[i].Set(flow.FieldInPort, uint64(attackerPod.Port))
-			sw.ProcessKey(1, keys[i])
 		}
+		out := sw.ProcessBatch(1, keys, nil)
 		// A little victim traffic so its megaflow shows in the dumps.
 		victim := traffic.NewVictim(traffic.VictimConfig{
 			Src: victimPod.IP, Dst: victimPod.IP, InPort: victimPod.Port,
 		})
-		for i := 0; i < 64; i++ {
-			sw.ProcessKey(2, victim.Next())
+		vkeys := make([]flow.Key, 64)
+		for i := range vkeys {
+			vkeys[i] = victim.Next()
 		}
+		sw.ProcessBatch(2, vkeys, out)
 	}
 	return &scenario{
 		sw:           sw,
@@ -244,13 +246,14 @@ func runRevalidator(sc *scenario, rounds int, interval uint64, dumpRate float64,
 	fmt.Printf("# %d rounds, interval %d, dump rate %g flows/unit/worker, covert stream %d keys/round\n",
 		rounds, interval, dumpRate, len(keys))
 	now := uint64(1)
+	vkeys := make([]flow.Key, 64)
+	var out []dataplane.Decision
 	for r := 0; r < rounds; r++ {
-		for i := 0; i < 64; i++ {
-			sc.sw.ProcessKey(now, victim.Next())
+		for i := range vkeys {
+			vkeys[i] = victim.Next()
 		}
-		for _, k := range keys {
-			sc.sw.ProcessKey(now, k)
-		}
+		out = sc.sw.ProcessBatch(now, vkeys, out)
+		out = sc.sw.ProcessBatch(now, keys, out)
 		rev.Tick(now)
 		st := rev.Stats()
 		over := ""
@@ -454,8 +457,15 @@ func runTrace(sc *scenario, args []string, warm int) error {
 	if err != nil {
 		return err
 	}
+	var fb dataplane.FrameBatch
+	var out []dataplane.Decision
 	for i := 0; i < warm; i++ {
-		if _, err := sc.sw.Process(scenarioNow-1, inPort, frame); err != nil {
+		// One-frame bursts, so each pass sees the previous one's cache
+		// promotions and the warmed state matches a real packet trickle.
+		fb.Reset()
+		fb.Append(frame, inPort)
+		out = sc.sw.ProcessFrames(scenarioNow-1, &fb, out)
+		if err := fb.Err(0); err != nil {
 			return fmt.Errorf("warming: %w", err)
 		}
 	}

@@ -219,8 +219,8 @@ func evaluate(atk *attack.Attack) int {
 	}
 	for i := range keys {
 		keys[i].Set(flow.FieldInPort, uint64(attacker.Port))
-		sw.ProcessKey(1, keys[i])
 	}
+	sw.ProcessBatch(1, keys, nil)
 	_ = victim
 	return sw.Megaflow().NumMasks()
 }

@@ -81,13 +81,14 @@ func main() {
 	keys, _ := atk.Keys()
 	for i := range keys {
 		keys[i].Set(flow.FieldInPort, uint64(probe.Port))
-		sw.ProcessKey(2, keys[i])
 	}
+	out := sw.ProcessBatch(2, keys, nil)
 	fmt.Printf("\nafter mallory's covert stream, server-1 carries %d megaflow masks\n",
 		sw.Megaflow().NumMasks())
-	d := sw.ProcessKey(3, flow.FiveTuple{
+	out = sw.ProcessBatch(3, []flow.Key{flow.FiveTuple{
 		Src: client.IP, Dst: web.IP, Proto: 6, SrcPort: 40000, DstPort: 443,
-	}.Key(web.Port))
+	}.Key(web.Port)}, out)
+	d := out[0]
 	fmt.Printf("acme's next web packet scanned %d masks to be %s\n",
 		d.MasksScanned, d.Verdict)
 }

@@ -36,8 +36,14 @@ func main() {
 		fmt.Printf("  %s\n", stored)
 	}
 
+	var (
+		oneKey [1]flow.Key
+		out    []dataplane.Decision
+	)
 	show := func(desc string, k flow.Key, now uint64) dataplane.Decision {
-		d := sw.ProcessKey(now, k)
+		oneKey[0] = k
+		out = sw.ProcessBatch(now, oneKey[:], out)
+		d := out[0]
 		fmt.Printf("  %-44s -> %-5s (recirc=%v, masks scanned %d)\n",
 			desc, d.Verdict.Verdict, d.Recirculated, d.MasksScanned)
 		return d
@@ -57,14 +63,16 @@ func main() {
 	// two whitelist entries (8 ip depths x 16 port depths).
 	fmt.Println("\npolicy injection vs the stateful group:")
 	before := sw.Megaflow().NumMasks()
+	akeys := make([]flow.Key, 0, 8*16)
 	for d1 := 0; d1 < 8; d1++ {
 		for d2 := 0; d2 < 16; d2++ {
 			k := conntrack.MustTuple("10.0.0.0", "172.16.0.1", 6, 40000, 443).Key(1)
 			k.Set(flow.FieldIPSrc, 0x0a000000^(1<<uint(31-d1)))
 			k.Set(flow.FieldTPDst, uint64(443^(1<<uint(15-d2))))
-			sw.ProcessKey(4, k)
+			akeys = append(akeys, k)
 		}
 	}
+	out = sw.ProcessBatch(4, akeys, out)
 	fmt.Printf("  covert stream minted %d megaflow masks (had %d)\n",
 		sw.Megaflow().NumMasks()-before, before)
 	// Established traffic rides the broad, early ct_state=+est megaflow:

@@ -48,6 +48,12 @@ const (
 	// DirAtomicCounters marks a struct type whose fields counteratomic
 	// holds to a single access discipline.
 	DirAtomicCounters = "atomiccounters"
+	// DirSharded marks a mutex-bearing shard-element struct (one shard of
+	// a sharded cache): lockdiscipline then flags any access to its
+	// guarded fields — from any function, not just exported methods of
+	// the type — that is not preceded by a lock acquisition on the same
+	// base chain or made from a *Locked function.
+	DirSharded = "sharded"
 	// DirAllow suppresses one analyzer's diagnostics on the same or the
 	// following line: //lint:allow <analyzer> <reason>. The reason is
 	// mandatory — a bare allow suppresses nothing.

@@ -22,6 +22,8 @@ var goldenCases = map[string][]string{
 	"lockdiscipline": {
 		"lock.go:18: t.mu acquires its own receiver's mutex inside *Locked method flushLocked (the convention says the caller holds it)",
 		"lock.go:25: call to t.growLocked without holding t.mu (call it from a *Locked method or after t.mu.Lock())",
+		"shard.go:26: Len touches sharded field sh.n, guarded by sh.mu, without locking (take the shard lock first or do it from a *Locked function)",
+		"shard.go:34: drain touches sharded field sh.n, guarded by sh.mu, without locking (take the shard lock first or do it from a *Locked function)",
 		"stats.go:14: exported method Hits touches s.hits, guarded by s.mu, without locking (lock first or move the access into a *Locked method)",
 	},
 	"counteratomic": {

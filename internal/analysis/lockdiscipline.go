@@ -18,7 +18,15 @@ import (
 //     is a self-deadlock by convention;
 //   - an exported non-Locked method must not touch the fields the mutex
 //     guards (the fields declared after it in the struct, the Go
-//     "mu guards fields below" convention) without locking first.
+//     "mu guards fields below" convention) without locking first;
+//   - for a //lint:sharded struct (one shard element of a sharded
+//     cache), the guarded-field rule hardens to every function, exported
+//     or not, method or not: cross-shard state may only be touched
+//     lexically after <shard>.<mu>.Lock()/RLock() on the same base
+//     chain, or from a *Locked function whose caller holds the shard
+//     lock. Dynamic bases (sm.shards[i].f) render as "" and escape the
+//     lexical check — take a named handle (sh := &sm.shards[i]) so the
+//     discipline is visible, which the sharded wrappers do throughout.
 //
 // The analysis is lexical, as documented in the README: it checks the
 // convention, not every aliasing path — which is exactly what makes it
@@ -34,6 +42,7 @@ type lockedType struct {
 	named   *types.Named
 	muField string
 	guarded map[string]bool // fields declared after the mutex
+	sharded bool            // //lint:sharded: guarded-field rule applies to every function
 }
 
 func runLockDiscipline(pass *Pass) {
@@ -82,7 +91,15 @@ func collectLockedTypes(pass *Pass) map[*types.Named]*lockedType {
 					if !ok {
 						continue
 					}
-					lt := &lockedType{named: named, guarded: make(map[string]bool)}
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					lt := &lockedType{
+						named:   named,
+						guarded: make(map[string]bool),
+						sharded: hasDirective(doc, DirSharded),
+					}
 					for _, field := range st.Fields.List {
 						ft := pkg.Info.TypeOf(field.Type)
 						isMutex := ft != nil && (ft.String() == "sync.Mutex" || ft.String() == "sync.RWMutex")
@@ -198,7 +215,24 @@ func checkLockFunc(pass *Pass, pkg *Package, fd *ast.FuncDecl, lts map[*types.Na
 			pass.Reportf(sel.Sel.Pos(), "call to %s.%s without holding %s.%s (call it from a *Locked method or after %s.%s.Lock())",
 				base, obj.Name(), base, lt.muField, base, lt.muField)
 		case *types.Var:
-			if !obj.IsField() || recvLT == nil || base != recvName || recvName == "" {
+			if !obj.IsField() {
+				return true
+			}
+			if lt := shardedOwner(info, sel, lts); lt != nil && lt.guarded[obj.Name()] {
+				if lockedName(fd.Name.Name) {
+					return true // the caller vouches for the shard lock
+				}
+				if base == "" {
+					return true // dynamic base (sm.shards[i].f): outside the lexical check
+				}
+				if heldBefore(base, sel) {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(), "%s touches sharded field %s.%s, guarded by %s.%s, without locking (take the shard lock first or do it from a *Locked function)",
+					fd.Name.Name, base, obj.Name(), base, lt.muField)
+				return true
+			}
+			if recvLT == nil || base != recvName || recvName == "" {
 				return true
 			}
 			if !recvLT.guarded[obj.Name()] || isLocked || !ast.IsExported(fd.Name.Name) {
@@ -229,6 +263,27 @@ func methodOwner(fn *types.Func, lts map[*types.Named]*lockedType) (*types.Named
 		return nil, nil
 	}
 	return named, lts[named]
+}
+
+// shardedOwner resolves the base of a field selection to a tracked
+// //lint:sharded type, or nil when the base is not one.
+func shardedOwner(info *types.Info, sel *ast.SelectorExpr, lts map[*types.Named]*lockedType) *lockedType {
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	lt := lts[named]
+	if lt == nil || !lt.sharded {
+		return nil
+	}
+	return lt
 }
 
 // guardedBase resolves the base expression of a <base>.<mu> selector to

@@ -1,0 +1,53 @@
+package lock
+
+import "sync"
+
+// shard is one element of a sharded cache: //lint:sharded hardens the
+// guarded-field rule to every function that touches it.
+//
+//lint:sharded
+type shard struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Cache fans out over shards.
+type Cache struct {
+	shards []shard
+}
+
+// Len reads a shard's guarded field through a named handle without the
+// shard lock — flagged even though Cache itself carries no mutex and
+// Len is a method of Cache, not shard.
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		total += sh.n // want: sharded field without lock
+	}
+	return total
+}
+
+// drain writes a guarded shard field from an unexported plain function:
+// the sharded rule applies beyond exported methods.
+func drain(sh *shard) {
+	sh.n = 0 // want: sharded field without lock
+}
+
+// LenSafe is the correct shape: RLock the shard before reading.
+func (c *Cache) LenSafe() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		total += sh.n
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// resetLocked is also correct: the *Locked suffix asserts the caller
+// holds the shard lock.
+func resetLocked(sh *shard) {
+	sh.n = 0
+}

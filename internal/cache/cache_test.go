@@ -65,7 +65,7 @@ func TestEMCStaleEntryPurged(t *testing.T) {
 	e := NewEMC(EMCConfig{Entries: 4})
 	ent := mf(allow)
 	e.Insert(key(1, 1), ent)
-	ent.dead = true
+	ent.dead.Store(true)
 	if _, ok := e.Lookup(key(1, 1), 1); ok {
 		t.Fatal("stale EMC entry served")
 	}

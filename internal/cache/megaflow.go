@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"policyinject/internal/burst"
 	"policyinject/internal/flow"
@@ -69,7 +70,11 @@ type MegaflowConfig struct {
 // ranking: ewma' = alpha*hitsInWindow + (1-alpha)*ewma.
 const rankAlpha = 0.25
 
-// Entry is one cached megaflow.
+// Entry is one cached megaflow. Hits and LastHit are the entry's
+// activity accounting: on a cache built for single-goroutine use they
+// are plain fields, while the sharded wrappers (ShardedMegaflow and
+// friends) credit them atomically because an EMC shard's readers and a
+// megaflow shard's sweeps touch the same entry under different locks.
 type Entry struct {
 	Match   flow.Match
 	Verdict Verdict
@@ -77,12 +82,15 @@ type Entry struct {
 	Added   uint64 // logical insert time
 	LastHit uint64 // logical last-hit time
 
-	dead bool // set on eviction so EMC references invalidate lazily
+	// dead is set on eviction so EMC/SMC references invalidate lazily.
+	// Atomic because in sharded hierarchies the evicting shard and a
+	// reference tier's reader hold different locks.
+	dead atomic.Bool
 }
 
 // Dead reports whether the entry has been evicted from the megaflow cache
 // (EMC references to it are stale).
-func (e *Entry) Dead() bool { return e.dead }
+func (e *Entry) Dead() bool { return e.dead.Load() }
 
 type mfSubtable struct {
 	mask    flow.Mask
@@ -92,7 +100,9 @@ type mfSubtable struct {
 	staged  *stagedState // staged-lookup/pruning state; nil unless StagedPruning
 }
 
-// Megaflow is the TSS-based megaflow cache. Not safe for concurrent use.
+// Megaflow is the TSS-based megaflow cache. Not safe for concurrent use
+// on its own; ShardedMegaflow composes per-shard instances behind
+// per-shard locks for the concurrent datapath.
 type Megaflow struct {
 	cfg       MegaflowConfig
 	limit     int
@@ -100,6 +110,13 @@ type Megaflow struct {
 	subtables []*mfSubtable // scan order
 	byMask    map[flow.Mask]*mfSubtable
 	nEntries  int
+
+	// shared marks an instance owned by a sharded wrapper: entries may be
+	// referenced by EMC/SMC shards guarded by *other* locks, so all
+	// Hits/LastHit traffic on entries goes through atomics (creditEntry,
+	// entryLastHit) even on the write-side sweeps under this instance's
+	// own lock.
+	shared bool
 
 	sinceSort int
 	lastRank  uint64 // Lookups value at the last EWMA re-ranking
@@ -154,6 +171,39 @@ func NewMegaflow(cfg MegaflowConfig) *Megaflow {
 	}
 }
 
+// creditEntry bills one hit of ent at logical time now. Shared instances
+// (sharded children) credit atomically: EMC/SMC shard readers and this
+// cache's sweeps reach the same entry under different shard locks.
+func (m *Megaflow) creditEntry(ent *Entry, now uint64) {
+	if m.shared {
+		atomic.AddUint64(&ent.Hits, 1)
+		atomic.StoreUint64(&ent.LastHit, now)
+		return
+	}
+	ent.Hits++
+	ent.LastHit = now
+}
+
+// creditEntryN is creditEntry for n coalesced hits.
+func (m *Megaflow) creditEntryN(ent *Entry, n uint64, now uint64) {
+	if m.shared {
+		atomic.AddUint64(&ent.Hits, n)
+		atomic.StoreUint64(&ent.LastHit, now)
+		return
+	}
+	ent.Hits += n
+	ent.LastHit = now
+}
+
+// entryLastHit reads ent's idle clock, atomically on shared instances
+// (a concurrent EMC shard hit may be refreshing it).
+func (m *Megaflow) entryLastHit(ent *Entry) uint64 {
+	if m.shared {
+		return atomic.LoadUint64(&ent.LastHit)
+	}
+	return ent.LastHit
+}
+
 // Len returns the number of cached entries.
 func (m *Megaflow) Len() int { return m.nEntries }
 
@@ -173,8 +223,7 @@ func (m *Megaflow) Lookup(k flow.Key, now uint64) (*Entry, int, bool) {
 	for _, st := range m.subtables {
 		scanned++
 		if ent, ok := st.entries[st.mask.Apply(k)]; ok {
-			ent.Hits++
-			ent.LastHit = now
+			m.creditEntry(ent, now)
 			st.hits++
 			st.lastHit = now
 			m.Hits++
@@ -245,8 +294,7 @@ func (m *Megaflow) LookupBatch(keys []flow.Key, now uint64, ents []*Entry, costs
 				if !ok {
 					continue
 				}
-				ent.Hits++
-				ent.LastHit = now
+				m.creditEntry(ent, now)
 				st.hits++
 				st.lastHit = now
 				m.Lookups++
@@ -290,8 +338,7 @@ func (m *Megaflow) AccountRun(ent *Entry, n int, cost int, now uint64) bool {
 	m.Hits += nn
 	m.MasksScanned += nn * uint64(cost)
 	m.RunBilledScans += nn * uint64(cost)
-	ent.Hits += nn
-	ent.LastHit = now
+	m.creditEntryN(ent, nn, now)
 	if st := m.byMask[ent.Match.Mask]; st != nil {
 		st.hits += nn
 		st.lastHit = now
@@ -362,12 +409,27 @@ func (m *Megaflow) Insert(match flow.Match, v Verdict, now uint64) (*Entry, erro
 		}
 	}
 	if old, ok := st.entries[match.Key]; ok {
-		old.Verdict = v
-		old.Added = now
-		// Refresh the idle clock too: a just-replaced entry is as live as a
-		// just-inserted one, and must not be swept by the next EvictIdle.
-		old.LastHit = now
-		return old, nil
+		if m.shared {
+			// Concurrent readers may hold old: never mutate its verdict in
+			// place. Equal verdicts (the common duplicate-upcall case) just
+			// refresh the clocks; a changed verdict retires the entry and
+			// mints a fresh one, RCU-style — stale references die via the
+			// Dead check.
+			if old.Verdict == v {
+				old.Added = now
+				atomic.StoreUint64(&old.LastHit, now)
+				return old, nil
+			}
+			m.removeEntry(st, match.Key, old)
+		} else {
+			old.Verdict = v
+			old.Added = now
+			// Refresh the idle clock too: a just-replaced entry is as live
+			// as a just-inserted one, and must not be swept by the next
+			// EvictIdle.
+			old.LastHit = now
+			return old, nil
+		}
 	}
 	if m.limit > 0 && m.nEntries >= m.limit {
 		return nil, ErrFlowLimit
@@ -384,7 +446,7 @@ func (m *Megaflow) Insert(match flow.Match, v Verdict, now uint64) (*Entry, erro
 // indices, signature sets, ports tries) stay consistent with the entries
 // map.
 func (m *Megaflow) removeEntry(st *mfSubtable, k flow.Key, ent *Entry) {
-	ent.dead = true
+	ent.dead.Store(true)
 	delete(st.entries, k)
 	st.dropEntry(k)
 	m.nEntries--
@@ -490,8 +552,8 @@ func (m *Megaflow) TrimToLimit() int {
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].ent, all[j].ent
-		if a.LastHit != b.LastHit {
-			return a.LastHit < b.LastHit
+		if al, bl := m.entryLastHit(a), m.entryLastHit(b); al != bl {
+			return al < bl
 		}
 		if a.Added != b.Added {
 			return a.Added < b.Added
@@ -536,7 +598,7 @@ func (m *Megaflow) EvictIdle(deadline uint64) int {
 	for i := 0; i < len(m.subtables); {
 		st := m.subtables[i]
 		for k, ent := range st.entries {
-			if ent.LastHit < deadline {
+			if m.entryLastHit(ent) < deadline {
 				m.removeEntry(st, k, ent)
 				evicted++
 			}
@@ -579,7 +641,7 @@ func (m *Megaflow) Revalidate(check func(*Entry) (Verdict, bool)) int {
 func (m *Megaflow) Flush() {
 	for _, st := range m.subtables {
 		for _, ent := range st.entries {
-			ent.dead = true
+			ent.dead.Store(true)
 		}
 		if m.hooks.Dropped != nil {
 			m.hooks.Dropped(st.mask)

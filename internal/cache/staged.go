@@ -262,8 +262,7 @@ func (m *Megaflow) lookupStaged(k flow.Key, now uint64) (*Entry, int, bool) {
 		}
 		cost++
 		m.SubtableVisits++
-		ent.Hits++
-		ent.LastHit = now
+		m.creditEntry(ent, now)
 		st.hits++
 		st.lastHit = now
 		st.staged.sinceRank++
@@ -418,8 +417,7 @@ func (m *Megaflow) lookupBatchStaged(keys []flow.Key, now uint64, ents []*Entry,
 				}
 				mfCost[i]++
 				m.SubtableVisits++
-				ent.Hits++
-				ent.LastHit = now
+				m.creditEntry(ent, now)
 				st.hits++
 				st.lastHit = now
 				ss.sinceRank++

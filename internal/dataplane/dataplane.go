@@ -66,6 +66,8 @@ type config struct {
 	conntrack  *conntrack.Config
 	tiers      []Tier // custom hierarchy (tiersSet): other cache opts ignored
 	tiersSet   bool
+	shards     int // WithShards: shard the default hierarchy's caches
+	shardsSet  bool
 	noCoalesce bool
 	staged     bool
 	upGuard    UpcallGuard
@@ -238,12 +240,13 @@ type Switch struct {
 
 	tiers      []Tier
 	tierHits   []uint64
-	hashedInst []HashedInstaller // per-tier hashed-install capability (nil entries: plain Install)
-	installer  MegaflowInstaller // last installer tier, nil if none
-	promoteTo  int               // tiers[:promoteTo] receive upcall promotions
-	noCoalesce bool              // disable same-flow run coalescing
-	needHashes bool              // some tier consumes burst flow hashes (HashUser/HashedInstaller)
-	upGuard    UpcallGuard       // optional upcall admission guard
+	hashedInst []HashedInstaller       // per-tier hashed-install capability (nil entries: plain Install)
+	installer  MegaflowInstaller       // last installer tier, nil if none
+	hashedMF   HashedMegaflowInstaller // installer's hash-aware capability, nil without
+	promoteTo  int                     // tiers[:promoteTo] receive upcall promotions
+	noCoalesce bool                    // disable same-flow run coalescing
+	needHashes bool                    // some tier consumes burst flow hashes (HashUser/HashedInstaller)
+	upGuard    UpcallGuard             // optional upcall admission guard
 
 	ct *conntrack.Table
 
@@ -295,6 +298,9 @@ func New(name string, opts ...Option) *Switch {
 	if cfg.staged {
 		cfg.megaflow.StagedPruning = true
 	}
+	if cfg.shardsSet {
+		validateSharded(&cfg)
+	}
 	tiers := cfg.tiers
 	if !cfg.tiersSet {
 		emcCfg := cache.EMCConfig{}
@@ -314,12 +320,24 @@ func New(name string, opts ...Option) *Switch {
 			if emcCfg.Seed == 0 {
 				emcCfg.Seed = nameSeed(name)
 			}
-			tiers = append(tiers, NewEMCTier(emcCfg))
+			if cfg.shardsSet {
+				tiers = append(tiers, NewShardedEMCTier(emcCfg, cfg.shards))
+			} else {
+				tiers = append(tiers, NewEMCTier(emcCfg))
+			}
 		}
 		if smcOn {
-			tiers = append(tiers, NewSMCTier(*cfg.smc))
+			if cfg.shardsSet {
+				tiers = append(tiers, NewShardedSMCTier(*cfg.smc, cfg.shards))
+			} else {
+				tiers = append(tiers, NewSMCTier(*cfg.smc))
+			}
 		}
-		tiers = append(tiers, NewMegaflowTier(cfg.megaflow))
+		if cfg.shardsSet {
+			tiers = append(tiers, NewShardedMegaflowTier(cfg.megaflow, cfg.shards))
+		} else {
+			tiers = append(tiers, NewMegaflowTier(cfg.megaflow))
+		}
 	}
 	if cfg.tierWrap != nil {
 		wrapped := make([]Tier, len(tiers))
@@ -342,6 +360,13 @@ func New(name string, opts ...Option) *Switch {
 		if inst, ok := tiers[i].(MegaflowInstaller); ok {
 			s.installer = inst
 			s.promoteTo = i
+			if hmf, ok := inst.(HashedMegaflowInstaller); ok {
+				// Hash-aware installs (sharded tiers): the upcall path
+				// carries the triggering key's flow hash so the megaflow
+				// lands in the shard that key's lookups probe.
+				s.hashedMF = hmf
+				s.needHashes = true
+			}
 			break
 		}
 	}
@@ -361,6 +386,11 @@ func New(name string, opts ...Option) *Switch {
 	if g := cfg.maskGuard; g != nil {
 		if mf := s.Megaflow(); mf != nil {
 			mf.SetMaskHooks(cache.MaskHooks{Admit: g.AdmitMask, Minted: g.MaskMinted, Dropped: g.MaskDropped})
+		} else if smf := s.ShardedMegaflow(); smf != nil {
+			// Sharded hierarchy: the guard sits behind the wrapper's
+			// cross-shard ledger, which refcounts per-shard subtable
+			// copies so the guard sees each logical mask once.
+			smf.SetMaskHooks(cache.MaskHooks{Admit: g.AdmitMask, Minted: g.MaskMinted, Dropped: g.MaskDropped})
 		}
 	}
 	if cfg.telemetry != nil {
@@ -445,10 +475,13 @@ func (s *Switch) flushCaches() {
 func (s *Switch) Rules() []*flowtable.Rule { return s.table.Rules() }
 
 // Process runs one frame received on port inPort through the pipeline at
-// logical time now. It is the scalar compatibility shim over the
-// frame-first entry point: a one-frame batch through ProcessFrames. New
-// callers should assemble FrameBatch bursts instead — the burst is the
-// unit of the datapath.
+// logical time now. It is a legacy scalar shim kept for tests and
+// single-packet probes: a one-frame batch through ProcessFrames, which
+// is the one documented ingress of the switch. Production-shaped callers
+// (cmd/, examples/, the simulator) assemble FrameBatch bursts and call
+// ProcessFrames — the burst is the unit of the datapath, and the batched
+// walk is where hash caching, run coalescing and the inverted subtable
+// sweep live.
 func (s *Switch) Process(now uint64, inPort uint32, frame []byte) (Decision, error) {
 	fb := &s.oneFrame
 	fb.Reset()
@@ -457,9 +490,11 @@ func (s *Switch) Process(now uint64, inPort uint32, frame []byte) (Decision, err
 	return s.oneOut[0], fb.Err(0)
 }
 
-// ProcessKey classifies an already-extracted key — the measurement hook
-// the benchmarks and the throughput simulator use directly, bypassing
-// frame parsing. Packets hitting a conntrack dispatch rule are
+// ProcessKey classifies an already-extracted key — a legacy measurement
+// hook for benchmarks and property tests that bypasses frame parsing.
+// Like Process it is not an ingress: external callers drive the switch
+// through ProcessFrames (or ProcessBatch when keys are pre-extracted in
+// bulk). Packets hitting a conntrack dispatch rule are
 // recirculated once: the connection tracker classifies the 5-tuple, the
 // ct_state field is stamped into the key, and the pipeline runs again —
 // both passes billed, as both cost the real switch.
@@ -571,13 +606,6 @@ func (s *Switch) processBatch(now uint64, keys []flow.Key, hashes []uint64, out 
 	}
 	bs := &s.batch
 	bs.grow(n)
-	if hashes == nil && s.needHashes {
-		// Batch-entry hash pass: one Hash per key, reused by every
-		// hash-consuming tier instead of re-hashing per probe. Skipped
-		// entirely when no tier declares HashUser.
-		bs.hashes = flow.HashKeys(keys, bs.hashes)
-		hashes = bs.hashes
-	}
 
 	// Same-flow run detection: a run of consecutive identical keys (an
 	// elephant-flow burst) enters the tier walk once, through its first
@@ -587,6 +615,29 @@ func (s *Switch) processBatch(now uint64, keys []flow.Key, hashes []uint64, out 
 		if keys[i] != keys[i-1] {
 			bs.runs = append(bs.runs, i)
 		}
+	}
+
+	if hashes == nil && s.needHashes {
+		// Batch-entry hash pass: one Hash per run head, reused by every
+		// hash-consuming tier instead of re-hashing per probe; a run's
+		// copies take the head's hash by assignment (identical keys,
+		// identical hashes — and hashing dominates copying 40:1 on the
+		// elephant mix). Skipped when no tier declares HashUser.
+		if cap(bs.hashes) < n {
+			bs.hashes = make([]uint64, n)
+		}
+		bs.hashes = bs.hashes[:n]
+		for ri, r := range bs.runs {
+			end := n
+			if ri+1 < len(bs.runs) {
+				end = bs.runs[ri+1]
+			}
+			h := keys[r].Hash()
+			for i := r; i < end; i++ {
+				bs.hashes[i] = h
+			}
+		}
+		hashes = bs.hashes
 	}
 
 	// Vectorized tier walk over the run representatives: each tier
@@ -826,7 +877,20 @@ func (s *Switch) upcallHashed(now uint64, k flow.Key, h uint64, hasHash bool, sc
 	}
 	installed := false
 	if s.installer != nil {
-		ent, err := s.installer.InsertMegaflow(res.Megaflow, v, now)
+		var ent *cache.Entry
+		var err error
+		if s.hashedMF != nil {
+			// Sharded installer: the megaflow must land in the shard the
+			// triggering key's lookups probe, selected by the key's full
+			// flow hash (computed here when the burst's hash pass did not
+			// run — scalar ProcessKey callers).
+			if !hasHash {
+				h = k.Hash()
+			}
+			ent, err = s.hashedMF.InsertMegaflowHashed(res.Megaflow, v, now, h)
+		} else {
+			ent, err = s.installer.InsertMegaflow(res.Megaflow, v, now)
+		}
 		if err != nil {
 			s.counters.InstallErr++
 		} else {

@@ -1,6 +1,8 @@
 package dataplane
 
 import (
+	"strconv"
+
 	"policyinject/internal/cache"
 	"policyinject/internal/telemetry"
 )
@@ -49,8 +51,14 @@ type telemetryHooks struct {
 	ctEntries   *telemetry.Gauge
 	tierEntries []*telemetry.Gauge
 
+	// Sharded hierarchies: per-shard occupancy/mask gauges (labelled
+	// shard=<i>), refreshed by PublishTelemetry alongside the totals.
+	shardEntries []*telemetry.Gauge
+	shardMasks   []*telemetry.Gauge
+
 	prevTierHits []uint64 // per-burst tier-hit scratch, len(tiers)
 	mf           *cache.Megaflow
+	smf          *cache.ShardedMegaflow
 }
 
 func newTelemetryHooks(reg *telemetry.Registry, s *Switch) *telemetryHooks {
@@ -75,12 +83,20 @@ func newTelemetryHooks(reg *telemetry.Registry, s *Switch) *telemetryHooks {
 		ctEntries:    reg.Gauge("dp_ct_entries", sw),
 		prevTierHits: make([]uint64, len(s.tiers)),
 		mf:           s.Megaflow(),
+		smf:          s.ShardedMegaflow(),
 	}
 	for _, t := range s.tiers {
 		tl := telemetry.L("tier", t.Name())
 		h.tierHits = append(h.tierHits, reg.Counter("dp_tier_hits_total", sw, tl))
 		h.tierNs = append(h.tierNs, reg.Histogram("dp_tier_lookup_ns", sw, tl))
 		h.tierEntries = append(h.tierEntries, reg.Gauge("dp_tier_entries", sw, tl))
+	}
+	if h.smf != nil {
+		for i := 0; i < h.smf.NumShards(); i++ {
+			sl := telemetry.L("shard", strconv.Itoa(i))
+			h.shardEntries = append(h.shardEntries, reg.Gauge("dp_mf_shard_entries", sw, sl))
+			h.shardMasks = append(h.shardMasks, reg.Gauge("dp_mf_shard_masks", sw, sl))
+		}
 	}
 	return h
 }
@@ -123,6 +139,16 @@ func (s *Switch) PublishTelemetry() {
 		tel.mfEntries.SetInt(tel.mf.Len())
 		tel.mfMasks.SetInt(tel.mf.NumMasks())
 		tel.mfFlowLimit.SetInt(tel.mf.FlowLimit())
+	}
+	if tel.smf != nil {
+		tel.mfEntries.SetInt(tel.smf.Len())
+		tel.mfMasks.SetInt(tel.smf.NumMasks())
+		tel.mfFlowLimit.SetInt(tel.smf.FlowLimit())
+		for i := range tel.shardEntries {
+			snap := tel.smf.ShardSnapshot(i)
+			tel.shardEntries[i].SetInt(snap.Entries)
+			tel.shardMasks[i].SetInt(snap.Masks)
+		}
 	}
 	if s.ct != nil {
 		tel.ctEntries.SetInt(s.ct.Len())

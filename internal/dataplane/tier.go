@@ -8,15 +8,14 @@ import (
 	"policyinject/internal/flow"
 )
 
-// Tier is one layer of the fast-path cache hierarchy. The switch walks its
-// tiers in order on every packet: the first hit wins and the winning entry
-// is promoted into every earlier tier, so upper tiers behave as cheap
-// front caches for the authoritative megaflow store below them.
-//
-// The cost returned by Lookup is in "megaflow subtables visited" — the
-// paper's per-packet cost metric. Exact-match tiers (EMC, SMC) cost 0;
-// the TSS tier reports its scan length whether it hits or misses.
-type Tier interface {
+// TierReader is the read side of a cache tier: the methods the packet
+// walk calls on its hot path, plus the counter snapshot. On an ordinary
+// Tier the reader shares the owner goroutine with the writer — reads are
+// never concurrent with anything. A tier that additionally declares
+// ConcurrentTier promises its reader methods (and the BatchTier /
+// RunCoalescer extensions) are safe from any number of goroutines
+// concurrently with its TierWriter methods.
+type TierReader interface {
 	// Name identifies the tier in counters and dumps ("emc", "smc",
 	// "megaflow", ...).
 	Name() string
@@ -24,6 +23,18 @@ type Tier interface {
 	Path() Path
 	// Lookup consults the tier at logical time now.
 	Lookup(k flow.Key, now uint64) (ent *cache.Entry, cost int, ok bool)
+	// Stats returns a snapshot of the tier's counters.
+	Stats() TierStats
+}
+
+// TierWriter is the write side of a cache tier: installs from promotion
+// or the slow path, and the maintenance entry points the revalidator
+// drives (Flush, EvictIdle; LimitedTier and RevalidatableTier extend
+// this side). On an ordinary Tier every writer call must be serialized
+// with every reader call by the owning goroutine; a ConcurrentTier
+// serializes internally (per-shard insert locks) and accepts writer
+// calls concurrent with reader traffic.
+type TierWriter interface {
 	// Install caches a reference produced by a lower tier or the slow
 	// path. Authoritative tiers (which mint their own entries via
 	// MegaflowInstaller) may treat this as a no-op.
@@ -33,8 +44,48 @@ type Tier interface {
 	// EvictIdle removes entries idle since before deadline, returning the
 	// eviction count. Reference tiers that invalidate lazily return 0.
 	EvictIdle(deadline uint64) int
-	// Stats returns a snapshot of the tier's counters.
-	Stats() TierStats
+}
+
+// Tier is one layer of the fast-path cache hierarchy: the read side and
+// the write side together. The switch walks its tiers in order on every
+// packet: the first hit wins and the winning entry is promoted into
+// every earlier tier, so upper tiers behave as cheap front caches for
+// the authoritative megaflow store below them.
+//
+// The cost returned by Lookup is in "megaflow subtables visited" — the
+// paper's per-packet cost metric. Exact-match tiers (EMC, SMC) cost 0;
+// the TSS tier reports its scan length whether it hits or misses.
+//
+// Concurrency contract: a plain Tier is owned by one goroutine — the
+// switch serializes TierReader and TierWriter calls, and experiments
+// drive the switch like a single PMD thread. Only tiers declaring
+// ConcurrentTier may be shared across goroutines; dataplane.New enforces
+// the declaration for sharded hierarchies (WithShards) and
+// NewSharedPMDPool for pools sharing one switch.
+type Tier interface {
+	TierReader
+	TierWriter
+}
+
+// ConcurrentTier is the capability marking a tier safe for multi-writer
+// use — the contract of the sharded wrappers:
+//
+//   - Lookup, LookupBatch and AccountRun may run from any number of
+//     goroutines concurrently with each other AND with Install,
+//     InstallHashed, InsertMegaflow(Hashed), EvictIdle, TrimToLimit,
+//     SetFlowLimit, Revalidate and Flush;
+//   - writer calls serialize internally (per-shard locks), so two
+//     goroutines may install concurrently;
+//   - Stats and Name/Path are always safe.
+//
+// Counter snapshots taken while traffic is in flight are coherent per
+// shard, not across shards. dataplane.New panics when a WithShards
+// hierarchy (or a WithTiers hierarchy combined with WithShards) contains
+// a tier that does not declare this capability.
+type ConcurrentTier interface {
+	Tier
+	// ConcurrencySafe is a marker; implementations do nothing.
+	ConcurrencySafe()
 }
 
 // BatchTier is the vectorized capability of a tier: resolving a whole
@@ -117,6 +168,17 @@ type RevalidatableTier interface {
 type MegaflowInstaller interface {
 	Tier
 	InsertMegaflow(match flow.Match, v cache.Verdict, now uint64) (*cache.Entry, error)
+}
+
+// HashedMegaflowInstaller is the hash-aware install capability of a
+// sharded authoritative tier: keyHash is the flow hash of the *key whose
+// upcall synthesised the match* (not of the masked match key), which is
+// what selects the shard that key's future lookups will probe. The
+// switch prefers it over InsertMegaflow whenever present, computing the
+// key hash if the burst's hash pass did not run.
+type HashedMegaflowInstaller interface {
+	MegaflowInstaller
+	InsertMegaflowHashed(match flow.Match, v cache.Verdict, now uint64, keyHash uint64) (*cache.Entry, error)
 }
 
 // TierStats is a uniform counter snapshot across tier implementations.

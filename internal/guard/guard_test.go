@@ -192,7 +192,7 @@ func TestMaskLedgerQuotaIsolation(t *testing.T) {
 	k := flow.Key(wild.Mask)
 	k.Set(flow.FieldInPort, 0)
 	wild.Mask = flow.Mask(k)
-	if tenant := l.tenantFor(wild); tenant != "" {
+	if tenant := l.tenantForLocked(wild); tenant != "" {
 		t.Fatalf("wildcard in_port attributed to %q", tenant)
 	}
 }

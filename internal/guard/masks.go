@@ -3,6 +3,7 @@ package guard
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"policyinject/internal/flow"
 )
@@ -38,9 +39,15 @@ func (c *MaskQuotaConfig) setDefaults() {
 // needed them) refused; every other tenant keeps installing into masks
 // it minted or that already exist — the victim stays isolated from the
 // attacker's mask budget.
+// On a sharded datapath the mint/drop hooks arrive serialized by the
+// sharded megaflow's cross-shard ledger lock, but BindPort (pod
+// deployment) and the accessors run from the control plane concurrently
+// with traffic — so the ledger carries its own mutex and every method
+// locks, making it safe from any goroutine.
 type MaskLedger struct {
 	cfg MaskQuotaConfig
 
+	mu       sync.Mutex
 	tenantOf map[uint32]string    // port -> tenant
 	owner    map[flow.Mask]string // live mask -> minting tenant
 	live     map[string]int       // tenant -> live mask count
@@ -63,15 +70,18 @@ func NewMaskLedger(cfg MaskQuotaConfig) *MaskLedger {
 // BindPort records that a switch port belongs to a tenant (the
 // cms.PortBinder hook, called on pod deployment).
 func (l *MaskLedger) BindPort(port uint32, tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.tenantOf[port] = tenant
 }
 
 // fullPort is a fully-masked 32-bit in_port field.
 const fullPort = 1<<32 - 1
 
-// tenantFor attributes a match: the tenant bound to its exact in_port,
-// or "" when the in_port is not exact or the port is unbound.
-func (l *MaskLedger) tenantFor(m flow.Match) string {
+// tenantForLocked attributes a match: the tenant bound to its exact
+// in_port, or "" when the in_port is not exact or the port is unbound.
+// Callers hold l.mu.
+func (l *MaskLedger) tenantForLocked(m flow.Match) string {
 	if flow.Key(m.Mask).Get(flow.FieldInPort) != fullPort {
 		return ""
 	}
@@ -82,7 +92,9 @@ func (l *MaskLedger) tenantFor(m flow.Match) string {
 // more mask (the dataplane.MaskGuard hook, consulted before a new
 // subtable is created). A nil error admits.
 func (l *MaskLedger) AdmitMask(m flow.Match) error {
-	tenant := l.tenantFor(m)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tenant := l.tenantForLocked(m)
 	if tenant == "" {
 		return nil
 	}
@@ -98,8 +110,10 @@ func (l *MaskLedger) AdmitMask(m flow.Match) error {
 // original owner (the cache only mints a mask once; this guards the
 // ledger against double charging regardless).
 func (l *MaskLedger) MaskMinted(m flow.Match) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.minted++
-	tenant := l.tenantFor(m)
+	tenant := l.tenantForLocked(m)
 	if tenant == "" {
 		return
 	}
@@ -113,6 +127,8 @@ func (l *MaskLedger) MaskMinted(m flow.Match) {
 // MaskDropped releases a mask's quota charge when its subtable dies
 // (eviction, trim, revalidation or a wholesale flush).
 func (l *MaskLedger) MaskDropped(mask flow.Mask) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	tenant, ok := l.owner[mask]
 	if !ok {
 		return
@@ -124,13 +140,29 @@ func (l *MaskLedger) MaskDropped(mask flow.Mask) {
 }
 
 // Live returns how many masks a tenant currently holds.
-func (l *MaskLedger) Live(tenant string) int { return l.live[tenant] }
+func (l *MaskLedger) Live(tenant string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.live[tenant]
+}
 
 // Owner returns the tenant a live mask is attributed to ("" if none).
-func (l *MaskLedger) Owner(mask flow.Mask) string { return l.owner[mask] }
+func (l *MaskLedger) Owner(mask flow.Mask) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.owner[mask]
+}
 
 // Minted returns the total masks minted through the ledger.
-func (l *MaskLedger) Minted() uint64 { return l.minted }
+func (l *MaskLedger) Minted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.minted
+}
 
 // Rejects returns the total quota rejections.
-func (l *MaskLedger) Rejects() uint64 { return l.rejects }
+func (l *MaskLedger) Rejects() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rejects
+}

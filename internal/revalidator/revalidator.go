@@ -240,16 +240,57 @@ func (r *Revalidator) Attach(t Target) { r.targets = append(r.targets, target{t:
 // AttachLocked is Attach for a target that is processed concurrently with
 // maintenance: the sweep takes mu for the duration of the target's dump,
 // and the datapath driver must hold the same lock around its
-// Process/ProcessFrames calls — the coarse-grained stand-in for the RCU
-// protocol real revalidators use.
+// Process/ProcessFrames calls — one coarse mutex serializing the whole
+// switch against its own maintenance.
+//
+// For sharded switches this is superseded by AttachSharded: the sweep
+// then takes only per-shard locks, excluding one shard's readers at a
+// time instead of the whole datapath, and no driver-side lock is needed
+// at all. Keep AttachLocked for unsharded targets that must be swept
+// concurrently with traffic.
 func (r *Revalidator) AttachLocked(t Target, mu sync.Locker) {
 	r.targets = append(r.targets, target{t: t, mu: mu})
 }
 
+// ShardedTarget is a datapath exposing per-shard revalidation targets —
+// dataplane.Switch with a WithShards hierarchy satisfies it
+// (Switch.ShardTargets returns nil on unsharded hierarchies, which
+// AttachSharded reports as 0 targets attached).
+type ShardedTarget interface {
+	ShardTargets() []*dataplane.ShardTarget
+}
+
+// AttachSharded attaches every shard of a sharded datapath as its own
+// dump target, returning how many were attached. The round-robin worker
+// assignment then spreads the shards across revalidator threads, and
+// each shard's sweep runs under that shard's write lock only — datapath
+// traffic keeps flowing on every other shard (and on the swept shard's
+// insert path as soon as the sweep releases it). This supersedes
+// AttachLocked for sharded switches; no driver-side locking is
+// required.
+func (r *Revalidator) AttachSharded(t ShardedTarget) int {
+	sts := t.ShardTargets()
+	for _, st := range sts {
+		r.Attach(st)
+	}
+	return len(sts)
+}
+
 // AttachPool attaches every PMD of a pool as its own dump shard, so the
 // round-robin worker assignment spreads the per-core caches across the
-// revalidator threads.
+// revalidator threads. A shared pool (NewSharedPMDPool) attaches its one
+// sharded switch shard-by-shard instead — every view sees the same
+// tiers, so attaching each PMD would sweep the same caches N times.
 func (r *Revalidator) AttachPool(p *dataplane.PMDPool) {
+	if p.Shared() {
+		sw := p.PMD(0)
+		if r.AttachSharded(sw) == 0 {
+			// Custom ConcurrentTier hierarchy without shard targets:
+			// sweep it whole (its tiers accept concurrent maintenance).
+			r.Attach(sw)
+		}
+		return
+	}
 	for i := 0; i < p.N(); i++ {
 		r.Attach(p.PMD(i))
 	}
